@@ -1,0 +1,159 @@
+//! Criterion microbenches for the core data structures and algorithms:
+//! the pending-range calculators (the complexity table's raw material),
+//! the φ detector, gossip rounds, the event queue, the memo DB, and the
+//! order enforcer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use scalecheck_gossip::{Gossiper, Peer, PhiDetector};
+use scalecheck_memo::{digest_bytes, FnId, MemoDb, OrderRecorder};
+use scalecheck_ring::{
+    spread_tokens, NodeId, NodeStatus, OpCounter, PendingRangeCalculator, RingTable,
+    TopologyChange, V1Cubic, V2Quadratic, V3VnodeAware,
+};
+use scalecheck_sim::{DetRng, Engine, SimDuration, SimTime};
+
+fn ring_of(n: u32, p: usize) -> RingTable {
+    let mut r = RingTable::new(3);
+    for i in 0..n {
+        r.add_node(NodeId(i), NodeStatus::Normal, spread_tokens(NodeId(i), p))
+            .unwrap();
+    }
+    r
+}
+
+fn bench_pending_ranges(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pending_ranges");
+    g.sample_size(10);
+    for n in [16u32, 32, 64] {
+        let ring = ring_of(n, 1);
+        let change = vec![TopologyChange::Leave { node: NodeId(0) }];
+        g.bench_with_input(BenchmarkId::new("v1_cubic", n), &n, |b, _| {
+            b.iter(|| {
+                let mut cnt = OpCounter::new();
+                black_box(V1Cubic.calculate(&ring, &change, &mut cnt))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("v2_quadratic", n), &n, |b, _| {
+            b.iter(|| {
+                let mut cnt = OpCounter::new();
+                black_box(V2Quadratic.calculate(&ring, &change, &mut cnt))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("v3_vnode_aware", n), &n, |b, _| {
+            b.iter(|| {
+                let mut cnt = OpCounter::new();
+                black_box(V3VnodeAware.calculate(&ring, &change, &mut cnt))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_phi_detector(c: &mut Criterion) {
+    c.bench_function("phi_detector_report_and_phi", |b| {
+        let mut d = PhiDetector::cassandra(SimDuration::from_secs(1));
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            d.heartbeat(SimTime::from_secs(t));
+            black_box(d.phi(SimTime::from_secs(t + 3)))
+        })
+    });
+}
+
+fn bench_gossip_round(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gossip_round");
+    for n in [64u32, 256] {
+        g.bench_with_input(BenchmarkId::new("syn_ack_ack2", n), &n, |b, &n| {
+            // Two nodes that each know n endpoints.
+            let mut a: Gossiper<u64> = Gossiper::new(Peer(0), 1, 0);
+            let mut z: Gossiper<u64> = Gossiper::new(Peer(1), 1, 1);
+            for i in 2..n {
+                let mut other: Gossiper<u64> = Gossiper::new(Peer(i), 1, i as u64);
+                other.beat();
+                let syn = other.make_syn();
+                let ack = a.handle_syn(&syn);
+                let (_, ack2) = other.handle_ack(&ack);
+                a.handle_ack2(&ack2);
+                // Let z learn via a.
+                let syn = a.make_syn();
+                let ack = z.handle_syn(&syn);
+                let (_, ack2) = a.handle_ack(&ack);
+                z.handle_ack2(&ack2);
+            }
+            b.iter(|| {
+                a.beat();
+                let syn = a.make_syn();
+                let ack = z.handle_syn(&syn);
+                let (_, ack2) = a.handle_ack(&ack);
+                black_box(z.handle_ack2(&ack2))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("engine_schedule_and_run_1k", |b| {
+        b.iter(|| {
+            let mut engine: Engine<u64> = Engine::new(1);
+            for i in 0..1000u64 {
+                engine.schedule_at(SimTime::from_nanos(i * 13 % 997), |s, _| *s += 1);
+            }
+            let mut count = 0u64;
+            engine.run_to_completion(&mut count);
+            black_box(count)
+        })
+    });
+}
+
+fn bench_memo_db(c: &mut Criterion) {
+    c.bench_function("memo_db_record_lookup", |b| {
+        let mut db: MemoDb<Vec<u8>> = MemoDb::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let d = digest_bytes(&i.to_le_bytes());
+            db.record(0, FnId(1), d, vec![1, 2, 3], SimDuration::from_millis(1));
+            black_box(db.lookup(FnId(1), d))
+        })
+    });
+}
+
+fn bench_order_enforcer(c: &mut Criterion) {
+    c.bench_function("order_enforce_1k_events", |b| {
+        b.iter(|| {
+            let mut rec = OrderRecorder::new();
+            for k in 0..1000u64 {
+                rec.record(0, k);
+            }
+            let mut enf = rec.into_enforcer();
+            for k in 0..1000u64 {
+                enf.classify(0, k);
+                enf.advance(0, k);
+            }
+            black_box(enf.enforced())
+        })
+    });
+}
+
+fn bench_det_rng(c: &mut Criterion) {
+    c.bench_function("det_rng_gen_range", |b| {
+        let mut rng = DetRng::new(42);
+        b.iter(|| black_box(rng.gen_range(1000)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_pending_ranges,
+    bench_phi_detector,
+    bench_gossip_round,
+    bench_event_queue,
+    bench_memo_db,
+    bench_order_enforcer,
+    bench_det_rng
+);
+criterion_main!(benches);

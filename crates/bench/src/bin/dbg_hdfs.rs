@@ -1,0 +1,9 @@
+use scalecheck_hdfslike::{run_hdfs, HdfsConfig};
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(192);
+    let r = run_hdfs(&HdfsConfig::bug(n, 1));
+    println!("{r:#?}");
+}

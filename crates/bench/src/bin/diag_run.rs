@@ -1,0 +1,76 @@
+//! Diagnostic: run one scenario in one mode and dump the full report.
+//!
+//! ```text
+//! cargo run --release -p scalecheck-bench --bin diag_run -- --bug c3831 --nodes 128 --mode real
+//! ```
+
+use scalecheck::{memoize, replay, run_colo, run_real, COLO_CORES};
+use scalecheck_bench::{bug_scenario, flag_value};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bug = flag_value(&args, "--bug").unwrap_or_else(|| "c3831".to_string());
+    let n: usize = flag_value(&args, "--nodes")
+        .map(|s| s.parse().unwrap())
+        .unwrap_or(64);
+    let mode = flag_value(&args, "--mode").unwrap_or_else(|| "real".to_string());
+    let seed: u64 = flag_value(&args, "--seed")
+        .map(|s| s.parse().unwrap())
+        .unwrap_or(1);
+
+    let cfg = bug_scenario(&bug, n, seed);
+    let r = match mode.as_str() {
+        "real" => run_real(&cfg),
+        "colo" => run_colo(&cfg, COLO_CORES),
+        "pil" => {
+            let memo = memoize(&cfg, COLO_CORES);
+            eprintln!(
+                "memoize: flaps={} dur={:.0}s calc_inv={} recorded={} order_events={}",
+                memo.report.total_flaps,
+                memo.report.duration.as_secs_f64(),
+                memo.report.calc.invocations,
+                memo.db.stats().recorded,
+                memo.order.total(),
+            );
+            replay(&cfg, COLO_CORES, &memo)
+        }
+        other => panic!("unknown mode {other}"),
+    };
+
+    println!("bug={bug} n={n} mode={mode}");
+    println!("flaps={} recoveries={}", r.total_flaps, r.recoveries);
+    println!(
+        "duration={:.0}s quiesced={} messages: sent={} delivered={} dropped={}",
+        r.duration.as_secs_f64(),
+        r.quiesced,
+        r.messages_sent,
+        r.messages_delivered,
+        r.messages_dropped
+    );
+    println!(
+        "calc: invocations={} executed={} cache_hits={} total_compute={:.0}s max={:.2}s",
+        r.calc.invocations,
+        r.calc.executed,
+        r.calc.exec_cache_hits,
+        r.calc.total_compute.as_secs_f64(),
+        r.calc.max_compute.as_secs_f64()
+    );
+    println!(
+        "memo: hits={} idx={} misses={} hit_rate={:.2} out_of_log={}",
+        r.memo.hits,
+        r.memo.index_fallbacks,
+        r.memo.misses,
+        r.memo.replay_hit_rate(),
+        r.order_out_of_log
+    );
+    println!(
+        "lateness: max={} p99={} cpu={:.2} peak_runnable={}",
+        r.max_stage_lateness, r.p99_stage_lateness, r.cpu_utilization, r.peak_runnable
+    );
+    println!(
+        "client: attempted={} failed={} unavailability={:.4}",
+        r.client_ops_attempted,
+        r.client_ops_failed,
+        r.unavailability()
+    );
+}

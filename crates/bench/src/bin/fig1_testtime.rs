@@ -1,0 +1,97 @@
+//! Regenerates the paper's Figure 1: test duration under real-scale
+//! testing (t), basic colocation (≈ N·t on one core), and PIL replay
+//! (t+e).
+//!
+//! One CPU-heavy protocol round is run at each N under the three
+//! setups; a 1-core colocation machine makes the N·t serialization of
+//! Figure 1b explicit.
+//!
+//! ```text
+//! cargo run --release -p scalecheck-bench --bin fig1_testtime
+//! ```
+
+use scalecheck_bench::{flag_value, print_row};
+use scalecheck_cluster::{run_scenario, DeploymentMode, ScenarioConfig, Workload};
+use scalecheck_memo::OrderRecorder;
+use scalecheck_sim::SimDuration;
+
+fn scenario(n: usize) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::c3831(n, 1);
+    // Figure 1 assumes a CPU-intensive protocol; at these small scales
+    // the real calibration is too cheap to contend, so the per-op cost
+    // is inflated to make each node's computation a few seconds — the
+    // figure's premise, not its conclusion.
+    cfg.ns_per_op = 120_000;
+    // One decommission: a single burst of expensive computation.
+    cfg.workload = Workload::Decommission {
+        count: 1,
+        gap: SimDuration::from_secs(30),
+    };
+    cfg.workload_end = SimDuration::from_secs(80);
+    cfg.max_duration = SimDuration::from_secs(3600);
+    cfg
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scales: Vec<usize> = flag_value(&args, "--scales")
+        .map(|s| s.split(',').map(|x| x.trim().parse().unwrap()).collect())
+        .unwrap_or_else(|| vec![8, 16, 32]);
+
+    println!("Figure 1 — test completion time by approach (1-core colocation)");
+    println!("(virtual seconds until the protocol quiesces)\n");
+    print_row(
+        &[
+            "#Nodes".into(),
+            "Real t".into(),
+            "Colo".into(),
+            "~N*t".into(),
+            "PIL t+e".into(),
+        ],
+        10,
+    );
+
+    for n in scales {
+        let cfg = scenario(n);
+        let real = run_scenario(&cfg.clone().with_deployment(DeploymentMode::Real));
+        let colo = run_scenario(
+            &cfg.clone()
+                .with_deployment(DeploymentMode::Colo { cores: 1 }),
+        );
+        // Memoize (on 16 cores to keep the one-time cost sane), then
+        // PIL-replay on the 1-core box: the PIL sleeps do not occupy
+        // the core, so the replay tracks Real.
+        let memo = scalecheck::memoize(&cfg, 16);
+        let mut replay_cfg = cfg
+            .clone()
+            .with_deployment(DeploymentMode::PilReplay { cores: 1 })
+            .with_calc_io(scalecheck_cluster::CalcIo::Replay);
+        replay_cfg.order_enforcement = true;
+        let order: OrderRecorder = memo.order.clone();
+        let (pil, _, _) = scalecheck_cluster::run_scenario_with_db(
+            &replay_cfg,
+            Some(memo.db.clone()),
+            Some(order),
+        );
+
+        // "t" here is the active settling time after the workload
+        // begins; quiescent runs end at different absolute points, so
+        // report the full run duration.
+        print_row(
+            &[
+                n.to_string(),
+                format!("{:.0}s", real.duration.as_secs_f64()),
+                format!("{:.0}s", colo.duration.as_secs_f64()),
+                format!(
+                    "{:.1}x",
+                    colo.duration.as_secs_f64() / real.duration.as_secs_f64()
+                ),
+                format!("{:.0}s", pil.duration.as_secs_f64()),
+            ],
+            10,
+        );
+    }
+    println!();
+    println!("Colo on one core stretches the run (towards N*t for CPU-bound work);");
+    println!("PIL replay finishes in about the real-scale time (t+e).");
+}

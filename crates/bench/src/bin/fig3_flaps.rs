@@ -1,0 +1,124 @@
+//! Regenerates the paper's Figure 3: #flaps vs cluster size for one
+//! bug, under Real, Colo, and SC+PIL.
+//!
+//! ```text
+//! cargo run --release -p scalecheck-bench --bin fig3_flaps -- --bug c3831
+//! ```
+//!
+//! Options:
+//! * `--bug c3831|c3881|c5456` — which panel (default c3831);
+//! * `--scales 32,64,128,256` — x-axis (default the paper's);
+//! * `--seed 1` — simulation seed;
+//! * `--json` — additionally emit one JSON object per point.
+
+use scalecheck::{memoize, replay, run_colo, run_real, COLO_CORES};
+use scalecheck_bench::{bug_scenario, flag_value, has_flag, print_row, report_json, PAPER_SCALES};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bug = flag_value(&args, "--bug").unwrap_or_else(|| "c3831".to_string());
+    let seed: u64 = flag_value(&args, "--seed")
+        .map(|s| s.parse().expect("--seed must be an integer"))
+        .unwrap_or(1);
+    let scales: Vec<usize> = flag_value(&args, "--scales")
+        .map(|s| {
+            s.split(',')
+                .map(|x| x.trim().parse().expect("--scales must be integers"))
+                .collect()
+        })
+        .unwrap_or_else(|| PAPER_SCALES.to_vec());
+    let json = has_flag(&args, "--json");
+
+    let title = match bug.as_str() {
+        "c3831" => "Figure 3a — c3831: Decommission",
+        "c3881" => "Figure 3b — c3881: Scale-Out",
+        "c5456" => "Figure 3c — c5456: Scale-Out",
+        other => other,
+    };
+    println!("{title}");
+    println!("#flaps observed across the whole cluster (paper plots x1000)\n");
+    print_row(
+        &[
+            "#Nodes".into(),
+            "Real".into(),
+            "Colo".into(),
+            "SC+PIL".into(),
+            "hit%".into(),
+        ],
+        10,
+    );
+
+    let mut rows = Vec::new();
+    let mut unavail: Vec<(f64, f64)> = Vec::new();
+    for &n in &scales {
+        let cfg = bug_scenario(&bug, n, seed);
+        eprintln!("[fig3 {bug}] N={n}: running Real...");
+        let real = run_real(&cfg);
+        eprintln!(
+            "[fig3 {bug}] N={n}: Real flaps={} dur={:.0}s; running Colo...",
+            real.total_flaps,
+            real.duration.as_secs_f64()
+        );
+        let colo = run_colo(&cfg, COLO_CORES);
+        eprintln!(
+            "[fig3 {bug}] N={n}: Colo flaps={} dur={:.0}s; memoizing + replaying...",
+            colo.total_flaps,
+            colo.duration.as_secs_f64()
+        );
+        let memo = memoize(&cfg, COLO_CORES);
+        let pil = replay(&cfg, COLO_CORES, &memo);
+        eprintln!(
+            "[fig3 {bug}] N={n}: SC+PIL flaps={} dur={:.0}s hit-rate={:.2}",
+            pil.total_flaps,
+            pil.duration.as_secs_f64(),
+            pil.memo.replay_hit_rate()
+        );
+        print_row(
+            &[
+                n.to_string(),
+                real.total_flaps.to_string(),
+                colo.total_flaps.to_string(),
+                pil.total_flaps.to_string(),
+                format!("{:.0}", pil.memo.replay_hit_rate() * 100.0),
+            ],
+            10,
+        );
+        if json {
+            println!("{}", report_json("Real", n, &real));
+            println!("{}", report_json("Colo", n, &colo));
+            println!("{}", report_json("SC+PIL", n, &pil));
+        }
+        rows.push((n, real.total_flaps, colo.total_flaps, pil.total_flaps));
+        unavail.push((real.unavailability(), pil.unavailability()));
+    }
+
+    // Shape summary (the paper's qualitative claims).
+    println!();
+    let peak = rows.last().expect("at least one scale");
+    println!(
+        "shape: at N={}, Colo/Real = {:.1}x, SC+PIL/Real = {:.2}x",
+        peak.0,
+        ratio(peak.2, peak.1),
+        ratio(peak.3, peak.1),
+    );
+    if let Some((real_u, pil_u)) = unavail.last() {
+        println!(
+            "user impact at N={}: unavailability Real {:.2}%, SC+PIL {:.2}%",
+            peak.0,
+            real_u * 100.0,
+            pil_u * 100.0
+        );
+    }
+}
+
+fn ratio(a: u64, b: u64) -> f64 {
+    if b == 0 {
+        if a == 0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        a as f64 / b as f64
+    }
+}

@@ -1,0 +1,138 @@
+//! The §4 baseline comparison: how the state-of-the-art approaches fare
+//! against the c3831 scalability bug, side by side with scale check.
+//!
+//! * mini-cluster testing — run the real system small: passes, bug
+//!   missed;
+//! * extrapolation — fit small-scale behaviour, predict large scale:
+//!   predicts healthy, bug missed;
+//! * basic colocation — run big on one box: bug "found" but wildly
+//!   distorted;
+//! * DieCast-style time dilation — accurate, but each iteration costs
+//!   TDF × t;
+//! * SC+PIL — accurate at ~real-scale iteration time after a one-time
+//!   memoization.
+//!
+//! ```text
+//! cargo run --release -p scalecheck-bench --bin tbl_baselines -- --target 128
+//! ```
+
+use scalecheck::baselines::{extrapolate_power_law, time_dilated};
+use scalecheck::{memoize, replay, run_colo, run_real, COLO_CORES};
+use scalecheck_bench::{bug_scenario, flag_value, print_row};
+use scalecheck_cluster::run_scenario;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let target: usize = flag_value(&args, "--target")
+        .map(|s| s.parse().unwrap())
+        .unwrap_or(256);
+    let tdf: u64 = flag_value(&args, "--tdf")
+        .map(|s| s.parse().unwrap())
+        .unwrap_or(16);
+    let seed = 1;
+
+    println!("S4 baselines vs scale check on c3831, target N={target}\n");
+
+    // Mini-cluster testing + extrapolation training data.
+    let train_scales = [8usize, 16, 32, 64];
+    let mut train = Vec::new();
+    for &n in &train_scales {
+        let r = run_real(&bug_scenario("c3831", n, seed));
+        eprintln!("[baselines] mini-cluster N={n}: flaps={}", r.total_flaps);
+        train.push((n, r.total_flaps));
+    }
+    let extrapolated = extrapolate_power_law(&train, target);
+
+    let cfg = bug_scenario("c3831", target, seed);
+    eprintln!("[baselines] real-scale ...");
+    let real = run_real(&cfg);
+    eprintln!("[baselines] basic colocation ...");
+    let colo = run_colo(&cfg, COLO_CORES);
+    eprintln!("[baselines] DieCast-style TDF={tdf} ...");
+    let diecast = run_scenario(&time_dilated(&cfg, COLO_CORES, tdf));
+    eprintln!("[baselines] SC+PIL ...");
+    let memo = memoize(&cfg, COLO_CORES);
+    let pil = replay(&cfg, COLO_CORES, &memo);
+
+    println!();
+    print_row(
+        &[
+            "approach".into(),
+            "flaps".into(),
+            "run (virt s)".into(),
+            "verdict".into(),
+        ],
+        22,
+    );
+    let mini_max = train.iter().map(|&(_, f)| f).max().unwrap_or(0);
+    print_row(
+        &[
+            "mini-cluster (<=64)".into(),
+            mini_max.to_string(),
+            "-".into(),
+            "bug missed".into(),
+        ],
+        22,
+    );
+    print_row(
+        &[
+            "extrapolation".into(),
+            format!("{extrapolated:.0} (pred)"),
+            "-".into(),
+            "bug missed".into(),
+        ],
+        22,
+    );
+    let verdict = |flaps: u64| {
+        if real.total_flaps == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.2}x of real", flaps as f64 / real.total_flaps as f64)
+        }
+    };
+    print_row(
+        &[
+            format!("real-scale ({target} mach.)"),
+            real.total_flaps.to_string(),
+            format!("{:.0}", real.duration.as_secs_f64()),
+            "ground truth".into(),
+        ],
+        22,
+    );
+    print_row(
+        &[
+            "basic colocation".into(),
+            colo.total_flaps.to_string(),
+            format!("{:.0}", colo.duration.as_secs_f64()),
+            verdict(colo.total_flaps),
+        ],
+        22,
+    );
+    print_row(
+        &[
+            format!("diecast tdf={tdf}"),
+            diecast.total_flaps.to_string(),
+            format!("{:.0}", diecast.duration.as_secs_f64()),
+            verdict(diecast.total_flaps),
+        ],
+        22,
+    );
+    print_row(
+        &[
+            "sc+pil".into(),
+            pil.total_flaps.to_string(),
+            format!("{:.0}", pil.duration.as_secs_f64()),
+            verdict(pil.total_flaps),
+        ],
+        22,
+    );
+    println!();
+    println!(
+        "time dilation is accurate but each iteration takes ~{tdf}x the real test \
+         time ({:.0}s vs {:.0}s); SC+PIL is accurate at ~1x after the one-time \
+         memoization ({:.0}s).",
+        diecast.duration.as_secs_f64(),
+        real.duration.as_secs_f64(),
+        memo.report.duration.as_secs_f64()
+    );
+}

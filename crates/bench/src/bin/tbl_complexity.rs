@@ -1,0 +1,124 @@
+//! Regenerates the §2/§3 complexity claims: measured op counts and
+//! virtual durations of every pending-range calculator version across
+//! scales, with fitted growth exponents.
+//!
+//! ```text
+//! cargo run --release -p scalecheck-bench --bin tbl_complexity
+//! ```
+
+use scalecheck_bench::print_row;
+use scalecheck_cluster::calibrate::{
+    ops_to_duration, NS_PER_OP_FRESH, NS_PER_OP_V1, NS_PER_OP_V2_VNODES,
+};
+use scalecheck_ring::{
+    spread_tokens, FreshRingQuadratic, NodeId, NodeStatus, OpCounter, PendingRangeCalculator,
+    RingTable, TopologyChange, V1Cubic, V2Quadratic, V3VnodeAware,
+};
+
+fn ring_of(n: u32, p: usize) -> RingTable {
+    let mut r = RingTable::new(3);
+    for i in 0..n {
+        r.add_node(NodeId(i), NodeStatus::Normal, spread_tokens(NodeId(i), p))
+            .unwrap();
+    }
+    r
+}
+
+fn ops(calc: &dyn PendingRangeCalculator, n: u32, p: usize) -> u64 {
+    let ring = ring_of(n, p);
+    let change = TopologyChange::Leave { node: NodeId(0) };
+    let mut c = OpCounter::new();
+    calc.calculate(&ring, &[change], &mut c);
+    c.ops()
+}
+
+fn bootstrap_ops(n: u32) -> u64 {
+    // C6127: fresh ring, all nodes joining at once (M = N).
+    let ring = RingTable::new(3);
+    let changes: Vec<TopologyChange> = (0..n)
+        .map(|i| TopologyChange::Join {
+            node: NodeId(i),
+            tokens: spread_tokens(NodeId(i), 1),
+        })
+        .collect();
+    let mut c = OpCounter::new();
+    FreshRingQuadratic.calculate(&ring, &changes, &mut c);
+    c.ops()
+}
+
+fn exponent(o1: u64, o2: u64) -> f64 {
+    (o2 as f64 / o1 as f64).log2()
+}
+
+fn main() {
+    println!("Complexity of the pending-range calculator versions");
+    println!("(ops for one topology change; duration via calibrated ns/op)\n");
+
+    print_row(
+        &[
+            "version".into(),
+            "P".into(),
+            "N=32".into(),
+            "N=64".into(),
+            "N=128".into(),
+            "N=256".into(),
+            "exp".into(),
+            "t@256".into(),
+        ],
+        12,
+    );
+
+    type OpsFn = Box<dyn Fn(u32) -> u64>;
+    let rows: Vec<(&str, usize, OpsFn, u64)> = vec![
+        (
+            "v1-cubic",
+            1,
+            Box::new(|n| ops(&V1Cubic, n, 1)),
+            NS_PER_OP_V1,
+        ),
+        (
+            "v2-quadratic",
+            1,
+            Box::new(|n| ops(&V2Quadratic, n, 1)),
+            NS_PER_OP_V1,
+        ),
+        (
+            "v2-quad+vnode",
+            32,
+            Box::new(|n| ops(&V2Quadratic, n, 32)),
+            NS_PER_OP_V2_VNODES,
+        ),
+        (
+            "v3-vnode",
+            32,
+            Box::new(|n| ops(&V3VnodeAware, n, 32)),
+            NS_PER_OP_V2_VNODES,
+        ),
+        ("fresh-boot", 1, Box::new(bootstrap_ops), NS_PER_OP_FRESH),
+    ];
+
+    for (name, p, f, ns) in rows {
+        let o: Vec<u64> = [32u32, 64, 128, 256].iter().map(|&n| f(n)).collect();
+        let exp = (exponent(o[0], o[1]) + exponent(o[1], o[2]) + exponent(o[2], o[3])) / 3.0;
+        let t256 = ops_to_duration(o[3], ns);
+        print_row(
+            &[
+                name.into(),
+                p.to_string(),
+                o[0].to_string(),
+                o[1].to_string(),
+                o[2].to_string(),
+                o[3].to_string(),
+                format!("{exp:.2}"),
+                format!("{t256}"),
+            ],
+            12,
+        );
+    }
+
+    println!();
+    println!("paper envelope check (S5): offending-block durations 0.001s-4s:");
+    let d_lo = ops_to_duration(ops(&V1Cubic, 32, 1), NS_PER_OP_V1);
+    let d_hi = ops_to_duration(ops(&V1Cubic, 256, 1), NS_PER_OP_V1);
+    println!("  v1 ranges {d_lo} (N=32) .. {d_hi} (N=256)");
+}

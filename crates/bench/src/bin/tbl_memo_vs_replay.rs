@@ -1,0 +1,70 @@
+//! Regenerates the §8 memoization-vs-replay comparison: "for 256-node
+//! colocation, the memoization time for the bugs we reproduced takes
+//! between 7 to 125 minutes while the replay time is only between 4 to
+//! 15 minutes, similar to the real deployments."
+//!
+//! The memoization run is a basic-colocation run (CPU contention
+//! stretches it); the PIL replay sleeps instead of computing, so it
+//! finishes in about real-scale time.
+//!
+//! ```text
+//! cargo run --release -p scalecheck-bench --bin tbl_memo_vs_replay -- --nodes 128
+//! ```
+
+use scalecheck::{memoize, replay, run_real, COLO_CORES};
+use scalecheck_bench::{bug_scenario, flag_value, print_row};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = flag_value(&args, "--nodes")
+        .map(|s| s.parse().unwrap())
+        .unwrap_or(256);
+    let seed: u64 = flag_value(&args, "--seed")
+        .map(|s| s.parse().unwrap())
+        .unwrap_or(1);
+
+    println!("Memoization vs replay time at {n}-node colocation (virtual minutes)");
+    println!("(paper S8: memoization 7-125 min, replay 4-15 min ~ real deployment)\n");
+    print_row(
+        &[
+            "bug".into(),
+            "real".into(),
+            "memoize".into(),
+            "replay".into(),
+            "memo/replay".into(),
+            "replay~real".into(),
+        ],
+        12,
+    );
+
+    for bug in ["c3831", "c3881", "c5456"] {
+        let cfg = bug_scenario(bug, n, seed);
+        eprintln!("[t-memo] {bug}: real ...");
+        let real = run_real(&cfg);
+        eprintln!("[t-memo] {bug}: memoize ...");
+        let memo = memoize(&cfg, COLO_CORES);
+        eprintln!("[t-memo] {bug}: replay ...");
+        let rep = replay(&cfg, COLO_CORES, &memo);
+        let mins = |d: scalecheck_sim::SimDuration| d.as_secs_f64() / 60.0;
+        print_row(
+            &[
+                bug.into(),
+                format!("{:.1}m", mins(real.duration)),
+                format!("{:.1}m", mins(memo.report.duration)),
+                format!("{:.1}m", mins(rep.duration)),
+                format!(
+                    "{:.1}x",
+                    memo.report.duration.as_secs_f64() / rep.duration.as_secs_f64()
+                ),
+                format!(
+                    "{:.2}x",
+                    rep.duration.as_secs_f64() / real.duration.as_secs_f64()
+                ),
+            ],
+            12,
+        );
+    }
+    println!();
+    println!("memoization is a one-time cost; the replay can be repeated cheaply");
+    println!("as many times as debugging requires (S8).");
+}

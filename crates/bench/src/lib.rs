@@ -1,0 +1,92 @@
+//! Shared harness utilities for the figure/table binaries.
+//!
+//! Every binary in this crate regenerates one artifact of the paper's
+//! evaluation (see DESIGN.md's experiment index) and prints an aligned
+//! text table plus, optionally, machine-readable JSON.
+
+#![forbid(unsafe_code)]
+
+use scalecheck_cluster::{RunReport, ScenarioConfig};
+use serde_json::json;
+
+/// Builds the scenario for a named bug at a given scale.
+///
+/// # Panics
+///
+/// Panics on an unknown bug id.
+pub fn bug_scenario(bug: &str, n: usize, seed: u64) -> ScenarioConfig {
+    match bug {
+        "c3831" => ScenarioConfig::c3831(n, seed),
+        "c3881" => ScenarioConfig::c3881(n, seed),
+        "c5456" => ScenarioConfig::c5456(n, seed),
+        "c6127" => ScenarioConfig::c6127(n, seed),
+        other => panic!("unknown bug id '{other}' (use c3831|c3881|c5456|c6127)"),
+    }
+}
+
+/// The scales the paper evaluates (Figure 3 x-axis).
+pub const PAPER_SCALES: [usize; 4] = [32, 64, 128, 256];
+
+/// Prints a row of right-aligned cells under a fixed width.
+pub fn print_row(cells: &[String], width: usize) {
+    let row: Vec<String> = cells.iter().map(|c| format!("{c:>width$}")).collect();
+    println!("{}", row.join("  "));
+}
+
+/// Renders a run report as a compact JSON value for machine-readable
+/// output.
+pub fn report_json(label: &str, n: usize, r: &RunReport) -> serde_json::Value {
+    json!({
+        "series": label,
+        "nodes": n,
+        "flaps": r.total_flaps,
+        "duration_s": r.duration.as_secs_f64(),
+        "quiesced": r.quiesced,
+        "cpu_utilization": r.cpu_utilization,
+        "p99_lateness_ms": r.p99_stage_lateness.as_millis_f64(),
+        "memo_hit_rate": r.memo.replay_hit_rate(),
+    })
+}
+
+/// Parses `--key value` style flags from an argument list.
+pub fn flag_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Whether a bare flag is present.
+pub fn has_flag(args: &[String], key: &str) -> bool {
+    args.iter().any(|a| a == key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bug_scenarios_resolve() {
+        for bug in ["c3831", "c3881", "c5456", "c6127"] {
+            let cfg = bug_scenario(bug, 32, 1);
+            assert!(cfg.n_nodes == 32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown bug id")]
+    fn unknown_bug_panics() {
+        bug_scenario("c9999", 32, 1);
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let args: Vec<String> = ["--bug", "c3831", "--json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(flag_value(&args, "--bug").as_deref(), Some("c3831"));
+        assert_eq!(flag_value(&args, "--nodes"), None);
+        assert!(has_flag(&args, "--json"));
+        assert!(!has_flag(&args, "--quiet"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Calibration: counted operations → virtual compute time.
+//!
+//! The paper records offending-block durations *in situ* because they
+//! are impossible to predict statically (§5: "the duration of an
+//! offending code block can range from 0.001 to 4 seconds depending on
+//! multi-dimensional inputs"). Our substrate executes the real
+//! algorithms and counts their operations; one constant per scenario
+//! maps ops to virtual nanoseconds. The constants below are calibrated
+//! so each bug's calculation lands in the paper's measured 0.001–4 s
+//! envelope across the evaluated scales (N = 32…256), with the cubic /
+//! quadratic / linear separation intact.
+
+use scalecheck_sim::SimDuration;
+
+/// ns/op for the C3831 cubic calculator at physical tokens (P=1).
+/// V1 executes ≈ N³ ops for one change: at N=256 that is ~17 M ops →
+/// ~3.4 s, at N=128 → ~0.4 s, at N=32 → ~7 ms.
+pub const NS_PER_OP_V1: u64 = 200;
+
+/// ns/op for the C3881/C5456 scenarios (V2 under P=32 vnodes).
+/// V2 executes ≈ (NP)²/2 ops per change (the linear point lookup
+/// early-exits halfway on average): at N=256,P=32 that is ~34 M ops →
+/// ~3.4 s, at N=128 → ~0.8 s.
+pub const NS_PER_OP_V2_VNODES: u64 = 100;
+
+/// ns/op for the C6127 fresh-ring path (P=1, M=N simultaneous joins).
+pub const NS_PER_OP_FRESH: u64 = 200;
+
+/// Converts a counted op total into virtual compute time.
+pub fn ops_to_duration(ops: u64, ns_per_op: u64) -> SimDuration {
+    SimDuration::from_nanos(ops.saturating_mul(ns_per_op))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalecheck_ring::{
+        spread_tokens, NodeId, NodeStatus, OpCounter, PendingRangeCalculator, RingTable,
+        TopologyChange, V1Cubic, V2Quadratic, V3VnodeAware,
+    };
+
+    fn ring_of(n: u32, p: usize) -> RingTable {
+        let mut r = RingTable::new(3);
+        for i in 0..n {
+            r.add_node(NodeId(i), NodeStatus::Normal, spread_tokens(NodeId(i), p))
+                .unwrap();
+        }
+        r
+    }
+
+    fn calc_duration(
+        calc: &dyn PendingRangeCalculator,
+        n: u32,
+        p: usize,
+        ns_per_op: u64,
+    ) -> SimDuration {
+        let ring = ring_of(n, p);
+        let change = TopologyChange::Leave { node: NodeId(0) };
+        let mut c = OpCounter::new();
+        calc.calculate(&ring, &[change], &mut c);
+        ops_to_duration(c.ops(), ns_per_op)
+    }
+
+    #[test]
+    fn v1_durations_land_in_paper_envelope() {
+        // §5: offending block durations range 0.001–4 s.
+        let d256 = calc_duration(&V1Cubic, 256, 1, NS_PER_OP_V1);
+        let d128 = calc_duration(&V1Cubic, 128, 1, NS_PER_OP_V1);
+        let d32 = calc_duration(&V1Cubic, 32, 1, NS_PER_OP_V1);
+        assert!(
+            d256 > SimDuration::from_secs(2) && d256 < SimDuration::from_secs(5),
+            "v1@256 {d256}"
+        );
+        assert!(
+            d128 > SimDuration::from_millis(200) && d128 < SimDuration::from_millis(900),
+            "v1@128 {d128}"
+        );
+        assert!(d32 > SimDuration::from_millis(1), "v1@32 {d32}");
+        assert!(d32 < SimDuration::from_millis(40), "v1@32 {d32}");
+    }
+
+    #[test]
+    fn v2_vnode_durations_land_in_paper_envelope() {
+        let d256 = calc_duration(&V2Quadratic, 256, 32, NS_PER_OP_V2_VNODES);
+        let d128 = calc_duration(&V2Quadratic, 128, 32, NS_PER_OP_V2_VNODES);
+        assert!(
+            d256 > SimDuration::from_secs(2) && d256 < SimDuration::from_secs(6),
+            "v2@256 {d256}"
+        );
+        assert!(
+            d128 > SimDuration::from_millis(400) && d128 < SimDuration::from_millis(1500),
+            "v2@128 {d128}"
+        );
+    }
+
+    #[test]
+    fn fixed_calculator_is_sub_conviction_everywhere() {
+        // The v3 fix must stay far below the ~18 s conviction horizon —
+        // that is why the fixes removed the flapping.
+        let d256 = calc_duration(&V3VnodeAware, 256, 32, NS_PER_OP_V2_VNODES);
+        assert!(d256 < SimDuration::from_millis(200), "v3@256 {d256}");
+    }
+
+    #[test]
+    fn ops_to_duration_saturates() {
+        assert_eq!(
+            ops_to_duration(u64::MAX, 1000),
+            SimDuration::from_nanos(u64::MAX)
+        );
+        assert_eq!(ops_to_duration(0, 1000), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,242 @@
+//! The client data path: quorum availability under flapping.
+//!
+//! The paper's opening example ends with "many live nodes are declared
+//! as dead, making some data not reachable by the users". This module
+//! measures that user-visible impact: a background client issues
+//! quorum operations against random keys; an operation fails when the
+//! coordinator's failure detector considers too many of the key's
+//! replicas dead. Flapping therefore translates directly into
+//! unavailability.
+//!
+//! The probe reads coordinator state only (it does not add CPU load, so
+//! it never perturbs the calibrated control-path dynamics under test);
+//! this is documented in DESIGN.md.
+
+use scalecheck_gossip::Liveness;
+use scalecheck_ring::Token;
+use scalecheck_sim::{DetRng, SimTime, TimeSeries};
+use serde::{Deserialize, Serialize};
+
+use crate::node::Node;
+use crate::ringinfo::peer_of;
+
+/// Client workload configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ClientConfig {
+    /// Cluster-wide operations per second (0 disables the probe).
+    pub ops_per_sec: u64,
+    /// Replicas that must be considered alive for an operation to
+    /// succeed (e.g. 2 for QUORUM at RF=3).
+    pub quorum: usize,
+}
+
+impl ClientConfig {
+    /// Probe disabled.
+    pub const OFF: ClientConfig = ClientConfig {
+        ops_per_sec: 0,
+        quorum: 2,
+    };
+
+    /// A light default probe: 50 ops/s at QUORUM for RF=3.
+    pub fn light() -> Self {
+        ClientConfig {
+            ops_per_sec: 50,
+            quorum: 2,
+        }
+    }
+}
+
+/// Availability accounting for one run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ClientStats {
+    /// Operations attempted.
+    pub attempted: u64,
+    /// Operations that could not reach a quorum of live replicas.
+    pub failed: u64,
+    /// Cumulative failure count over time.
+    pub failure_series: TimeSeries,
+}
+
+impl ClientStats {
+    /// Fraction of operations that failed (0 when none attempted).
+    pub fn unavailability(&self) -> f64 {
+        if self.attempted == 0 {
+            0.0
+        } else {
+            self.failed as f64 / self.attempted as f64
+        }
+    }
+}
+
+/// Executes one client operation against `coordinator`'s view: picks
+/// the replicas of `key` from its ring view and checks its failure
+/// detector's verdicts. Returns whether the operation succeeds.
+pub fn probe_operation(coordinator: &Node, key: Token, quorum: usize) -> bool {
+    let map = coordinator.ring.current_token_map();
+    if map.is_empty() {
+        return false;
+    }
+    // First token >= key, wrapping.
+    let start = map.partition_point(|&(t, _)| t < key) % map.len();
+    let rf = coordinator.ring.rf();
+    let mut replicas = Vec::with_capacity(rf);
+    for step in 0..map.len() {
+        let (_, node) = map[(start + step) % map.len()];
+        if !replicas.contains(&node) {
+            replicas.push(node);
+            if replicas.len() == rf {
+                break;
+            }
+        }
+    }
+    let alive = replicas
+        .iter()
+        .filter(|&&n| {
+            if n == coordinator.id {
+                return true;
+            }
+            // Unknown peers count as alive (no conviction yet).
+            coordinator.fd.liveness(peer_of(n)) != Some(Liveness::Dead)
+        })
+        .count();
+    alive >= quorum.min(replicas.len().max(1))
+}
+
+/// Issues one batch of operations from random live coordinators.
+pub fn run_probe_batch(
+    nodes: &[Node],
+    rng: &mut DetRng,
+    count: u64,
+    quorum: usize,
+    now: SimTime,
+    stats: &mut ClientStats,
+) {
+    let live: Vec<usize> = nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.active && !n.departed)
+        .map(|(i, _)| i)
+        .collect();
+    if live.is_empty() {
+        return;
+    }
+    for _ in 0..count {
+        let coordinator = &nodes[live[rng.gen_index(live.len())]];
+        let key = Token(rng.next_u64());
+        stats.attempted += 1;
+        if !probe_operation(coordinator, key, quorum) {
+            stats.failed += 1;
+        }
+    }
+    stats.failure_series.push(now, stats.failed as f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ringinfo::RingInfo;
+    use scalecheck_ring::{spread_tokens, NodeId};
+    use scalecheck_sim::{cpu::MachineId, SimDuration};
+
+    fn node_with_view(n: u32) -> Node {
+        let mut node = Node::new(
+            NodeId(0),
+            MachineId(0),
+            DetRng::new(1),
+            RingInfo::normal(spread_tokens(NodeId(0), 4)),
+            3,
+            8.0,
+            SimDuration::from_secs(1),
+        );
+        node.active = true;
+        node.announce(RingInfo::normal(spread_tokens(NodeId(0), 4)));
+        for i in 1..n {
+            node.ring
+                .add_node(
+                    NodeId(i),
+                    scalecheck_ring::NodeStatus::Normal,
+                    spread_tokens(NodeId(i), 4),
+                )
+                .unwrap();
+        }
+        node
+    }
+
+    #[test]
+    fn healthy_view_serves_quorum() {
+        let node = node_with_view(8);
+        let mut rng = DetRng::new(2);
+        for _ in 0..100 {
+            assert!(probe_operation(&node, Token(rng.next_u64()), 2));
+        }
+    }
+
+    #[test]
+    fn convictions_cause_unavailability() {
+        let mut node = node_with_view(8);
+        // Convict everyone: heartbeats long ago, interpret much later.
+        for i in 1..8 {
+            node.fd
+                .report(scalecheck_gossip::Peer(i), SimTime::from_secs(1));
+        }
+        node.fd.interpret_all(SimTime::from_secs(500));
+        let mut rng = DetRng::new(3);
+        let mut failures = 0;
+        for _ in 0..100 {
+            if !probe_operation(&node, Token(rng.next_u64()), 2) {
+                failures += 1;
+            }
+        }
+        assert!(
+            failures > 60,
+            "most quorums must fail with everyone convicted: {failures}"
+        );
+    }
+
+    #[test]
+    fn empty_view_fails() {
+        let node = Node::new(
+            NodeId(0),
+            MachineId(0),
+            DetRng::new(1),
+            RingInfo::normal(vec![]),
+            3,
+            8.0,
+            SimDuration::from_secs(1),
+        );
+        assert!(!probe_operation(&node, Token(42), 2));
+    }
+
+    #[test]
+    fn batch_accounts_attempts_and_failures() {
+        let mut nodes = vec![node_with_view(8)];
+        let mut rng = DetRng::new(4);
+        let mut stats = ClientStats::default();
+        run_probe_batch(&nodes, &mut rng, 50, 2, SimTime::from_secs(1), &mut stats);
+        assert_eq!(stats.attempted, 50);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.unavailability(), 0.0);
+        // Now convict the world.
+        for i in 1..8 {
+            nodes[0]
+                .fd
+                .report(scalecheck_gossip::Peer(i), SimTime::from_secs(1));
+        }
+        nodes[0].fd.interpret_all(SimTime::from_secs(500));
+        run_probe_batch(&nodes, &mut rng, 50, 2, SimTime::from_secs(501), &mut stats);
+        assert!(stats.failed > 20);
+        assert!(stats.unavailability() > 0.2);
+        assert_eq!(stats.failure_series.len(), 2);
+    }
+
+    #[test]
+    fn inactive_nodes_are_not_coordinators() {
+        let mut node = node_with_view(4);
+        node.active = false;
+        let nodes = vec![node];
+        let mut rng = DetRng::new(5);
+        let mut stats = ClientStats::default();
+        run_probe_batch(&nodes, &mut rng, 10, 2, SimTime::ZERO, &mut stats);
+        assert_eq!(stats.attempted, 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! The Cassandra-like cluster substrate of the ScaleCheck reproduction.
+//!
+//! Composes the lower substrates (simulation kernel, network, ring,
+//! gossip, memoization) into runnable clusters that exhibit the paper's
+//! scalability bugs:
+//!
+//! * **C3831** — decommissions under the cubic pending-range calculator
+//!   running inline on the gossip stage;
+//! * **C3881** — scale-out under vnodes with the v2 calculator;
+//! * **C5456** — the calculation on its own thread but holding a coarse
+//!   ring lock;
+//! * **C6127** — bootstrap-from-scratch exercising the fresh-ring
+//!   quadratic path.
+//!
+//! Each scenario runs in one of the paper's three deployment semantics
+//! (Real / Colo / PIL replay) and one of three calc-IO modes (execute /
+//! record / replay), yielding a [`RunReport`] whose flap counts are the
+//! Figure 3 measurements.
+//!
+//! # Examples
+//!
+//! ```
+//! use scalecheck_cluster::{run_scenario, DeploymentMode, ScenarioConfig};
+//!
+//! // A small healthy cluster decommissioning one node: no flapping.
+//! let cfg = ScenarioConfig::baseline(8, 42).with_deployment(DeploymentMode::Real);
+//! let report = run_scenario(&cfg);
+//! assert_eq!(report.total_flaps, 0);
+//! assert!(report.quiesced);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod calc;
+pub mod calibrate;
+pub mod config;
+pub mod datapath;
+pub mod node;
+pub mod report;
+pub mod ringinfo;
+pub mod runner;
+pub mod trace;
+
+pub use calc::{CalcEngine, CalcSource, CalcStats, PendingWire};
+pub use config::{
+    AllocStrategy, CalcIo, CalcVersion, DeploymentMode, LockingMode, MemoryConfig, ScenarioConfig,
+    Workload,
+};
+pub use datapath::{probe_operation, ClientConfig, ClientStats};
+pub use node::{Envelope, GossipMessage, Node, Task, ViewChanges};
+pub use report::RunReport;
+pub use ringinfo::{addr_of, node_of, peer_of, RingInfo};
+pub use runner::{run_scenario, run_scenario_with_db, ClusterState, StageKind};
+pub use trace::{TraceEvent, TraceLog};

@@ -1,0 +1,115 @@
+//! Aggregated results of one cluster run.
+
+use scalecheck_memo::MemoStats;
+use scalecheck_sim::{SimDuration, TimeSeries};
+use serde::{Deserialize, Serialize};
+
+use crate::calc::CalcStats;
+use crate::trace::TraceLog;
+
+/// Everything an experiment needs to know about a finished run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Total flaps: alive→dead convictions summed over all observers
+    /// (the y-axis of the paper's Figure 3).
+    pub total_flaps: u64,
+    /// Flaps per observer node.
+    pub per_node_flaps: Vec<u64>,
+    /// Dead→alive recoveries (flapping implies these roughly track
+    /// flaps).
+    pub recoveries: u64,
+    /// Cumulative flap count sampled over time.
+    pub flap_series: TimeSeries,
+    /// Virtual duration of the run (memoization runs stretch, PIL
+    /// replays do not — the §8 comparison).
+    pub duration: SimDuration,
+    /// Whether the run reached quiescence before the hard cap.
+    pub quiesced: bool,
+    /// Calculation statistics (including memo sources during replay).
+    pub calc: CalcStats,
+    /// Memo database statistics.
+    pub memo: MemoStats,
+    /// Messages offered to the network.
+    pub messages_sent: u64,
+    /// Messages dropped (loss/partition).
+    pub messages_dropped: u64,
+    /// Messages delivered to a live node.
+    pub messages_delivered: u64,
+    /// Worst gossip-stage queueing delay observed anywhere (event
+    /// lateness, §8).
+    pub max_stage_lateness: SimDuration,
+    /// 99th-percentile gossip-stage queueing delay (approximate).
+    pub p99_stage_lateness: SimDuration,
+    /// Highest machine CPU utilization at run end.
+    pub cpu_utilization: f64,
+    /// Highest multiprogramming level observed on any machine.
+    pub peak_runnable: usize,
+    /// Peak memory on the most loaded machine.
+    pub mem_peak_bytes: u64,
+    /// Allocation failures (OOM events, §8).
+    pub oom_events: u64,
+    /// Nodes that crashed (e.g. OOM).
+    pub crashed_nodes: u64,
+    /// Replay arrivals the order log never saw (divergence indicator).
+    pub order_out_of_log: u64,
+    /// Held messages force-released after the hold timeout.
+    pub order_forced_releases: u64,
+    /// Client quorum operations attempted by the availability probe.
+    pub client_ops_attempted: u64,
+    /// Client quorum operations that failed (no quorum of live
+    /// replicas — the paper's "data not reachable by the users").
+    pub client_ops_failed: u64,
+    /// Deterministic event trace (empty unless `trace_events` was set).
+    pub trace: TraceLog,
+}
+
+impl RunReport {
+    /// Flaps in thousands — the unit of the paper's Figure 3 axes.
+    pub fn flaps_k(&self) -> f64 {
+        self.total_flaps as f64 / 1000.0
+    }
+
+    /// Fraction of client operations that failed.
+    pub fn unavailability(&self) -> f64 {
+        if self.client_ops_attempted == 0 {
+            0.0
+        } else {
+            self.client_ops_failed as f64 / self.client_ops_attempted as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flaps_k_scales() {
+        let r = RunReport {
+            total_flaps: 2500,
+            per_node_flaps: vec![],
+            recoveries: 0,
+            flap_series: TimeSeries::new(),
+            duration: SimDuration::ZERO,
+            quiesced: true,
+            calc: CalcStats::default(),
+            memo: MemoStats::default(),
+            messages_sent: 0,
+            messages_dropped: 0,
+            messages_delivered: 0,
+            max_stage_lateness: SimDuration::ZERO,
+            p99_stage_lateness: SimDuration::ZERO,
+            cpu_utilization: 0.0,
+            peak_runnable: 0,
+            mem_peak_bytes: 0,
+            oom_events: 0,
+            crashed_nodes: 0,
+            order_out_of_log: 0,
+            order_forced_releases: 0,
+            client_ops_attempted: 0,
+            client_ops_failed: 0,
+            trace: TraceLog::default(),
+        };
+        assert!((r.flaps_k() - 2.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,1091 @@
+//! Event orchestration: builds the cluster, drives it to quiescence,
+//! and reports.
+//!
+//! The run realizes the paper's execution semantics:
+//!
+//! * **Real**: every node owns a dedicated machine — compute never
+//!   contends across nodes (Figure 1a).
+//! * **Colo**: every node's compute is submitted to one shared machine —
+//!   queueing and context switching delay everything (Figure 1b).
+//! * **PilReplay**: like Colo, but the pending-range calculation (the
+//!   PIL-replaced function) *sleeps* its duration instead of occupying a
+//!   core (Figure 1c).
+//!
+//! The bug mechanism is modelled faithfully to Cassandra's architecture:
+//! in [`LockingMode::InlineOnGossipStage`], applying a gossip message
+//! that touches a pending endpoint runs the calculation synchronously on
+//! the gossip stage, so a multi-second calculation starves heartbeat
+//! processing and the node's own gossip rounds; in the thread modes the
+//! calculation runs on its own stage but couples through the ring lock
+//! (C5456) unless it snapshots (the fix).
+
+use scalecheck_gossip::Liveness;
+use scalecheck_memo::{OrderDecision, OrderEnforcer, OrderRecorder};
+use scalecheck_net::Network;
+use scalecheck_ring::{spread_tokens, NodeId, NodeStatus, PendingRanges, RingTable};
+use scalecheck_sim::{
+    Acquire, Ctx, CtxSwitchModel, Engine, LockId, LockTable, Machine, MachinePark, MemoryModel,
+    SimDuration, SimTime, Stage, TimeSeries,
+};
+
+use crate::calc::{CalcEngine, PendingWire};
+use crate::config::{AllocStrategy, CalcIo, DeploymentMode, LockingMode, ScenarioConfig, Workload};
+use crate::node::{Envelope, GossipMessage, Node, Task};
+use crate::report::RunReport;
+use crate::ringinfo::{addr_of, peer_of, RingInfo};
+
+/// Which stage a task runs on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StageKind {
+    /// The gossip stage.
+    Gossip,
+    /// The calculation stage (thread modes).
+    Calc,
+}
+
+/// The complete world state the engine drives.
+pub struct ClusterState {
+    /// Scenario configuration.
+    pub cfg: ScenarioConfig,
+    /// All nodes (initial members first, then scale-out joiners).
+    pub nodes: Vec<Node>,
+    /// The simulated network.
+    pub net: Network,
+    /// Machines (one per node in Real, a single shared one otherwise).
+    pub park: MachinePark,
+    /// Memory budget per machine.
+    pub machine_mem: Vec<MemoryModel>,
+    /// Virtual locks (one ring lock per node).
+    pub locks: LockTable,
+    ring_lock: Vec<LockId>,
+    /// The calculation engine (execute / record / replay).
+    pub calc: CalcEngine,
+    /// Order recorder (memoization runs).
+    pub order_rec: Option<OrderRecorder>,
+    /// Order enforcer (replay runs).
+    pub order_enf: Option<OrderEnforcer>,
+    seeds: Vec<NodeId>,
+    client_rng: scalecheck_sim::DetRng,
+    client_stats: crate::datapath::ClientStats,
+    trace: crate::trace::TraceLog,
+    inflight: i64,
+    deliveries: u64,
+    forced_releases: u64,
+    flap_series: TimeSeries,
+    crashed: u64,
+    workload_end_at: SimTime,
+    stopped_quiescent: bool,
+}
+
+impl ClusterState {
+    fn lock_token(i: usize, stage: StageKind) -> u64 {
+        (i as u64) * 2
+            + match stage {
+                StageKind::Gossip => 0,
+                StageKind::Calc => 1,
+            }
+    }
+
+    fn total_flaps(&self) -> u64 {
+        self.nodes.iter().map(|n| n.fd.flaps()).sum()
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.inflight == 0
+            && self.nodes.iter().all(|n| {
+                !n.active
+                    || n.departed
+                    || (n.gossip_stage.depth() == 0
+                        && !n.gossip_stage.is_busy()
+                        && n.calc_stage.depth() == 0
+                        && !n.calc_stage.is_busy()
+                        && n.parked_gossip.is_none()
+                        && n.parked_calc.is_none()
+                        && !n.calc_dirty
+                        && !n.calc_queued
+                        && n.held.is_empty())
+            })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Setup.
+// ---------------------------------------------------------------------
+
+fn build(cfg: &ScenarioConfig, calc: CalcEngine) -> ClusterState {
+    let total = cfg.total_nodes();
+    let mut park = MachinePark::new();
+    let mut machine_mem = Vec::new();
+    match cfg.deployment {
+        DeploymentMode::Real => {
+            for _ in 0..total {
+                park.add(Machine::new(2, CtxSwitchModel::commodity()));
+                machine_mem.push(MemoryModel::new(cfg.memory.machine_capacity));
+            }
+        }
+        DeploymentMode::Colo { cores } | DeploymentMode::PilReplay { cores } => {
+            // §6: per-node daemon threads amplify context switching with
+            // the multiprogramming level; the global-event-queue redesign
+            // pays only the fixed dispatch cost.
+            let cs = if cfg.global_event_queue {
+                CtxSwitchModel {
+                    base: scalecheck_sim::SimDuration::from_micros(5),
+                    per_excess_load: scalecheck_sim::SimDuration::ZERO,
+                }
+            } else {
+                CtxSwitchModel::commodity()
+            };
+            park.add(Machine::new(cores.max(1), cs));
+            machine_mem.push(MemoryModel::new(cfg.memory.machine_capacity));
+        }
+    }
+
+    let bootstrap = matches!(cfg.workload, Workload::BootstrapFromScratch);
+    let initial_status = if bootstrap {
+        NodeStatus::Joining
+    } else {
+        NodeStatus::Normal
+    };
+
+    let root_rng = scalecheck_sim::DetRng::new(cfg.seed);
+    let mut nodes = Vec::with_capacity(total);
+    let mut locks = LockTable::new();
+    let mut ring_lock = Vec::with_capacity(total);
+    for i in 0..total {
+        let id = NodeId(i as u32);
+        let machine = match cfg.deployment {
+            DeploymentMode::Real => scalecheck_sim::cpu::MachineId(i),
+            _ => scalecheck_sim::cpu::MachineId(0),
+        };
+        let tokens = spread_tokens(id, cfg.vnodes);
+        let info = RingInfo {
+            status: if i < cfg.n_nodes {
+                initial_status
+            } else {
+                NodeStatus::Joining
+            },
+            tokens,
+        };
+        nodes.push(Node::new(
+            id,
+            machine,
+            root_rng.fork(1000 + i as u64),
+            info,
+            cfg.rf,
+            cfg.phi_threshold,
+            cfg.gossip_interval,
+        ));
+        ring_lock.push(locks.create());
+    }
+
+    // Established members know each other; everyone knows the seeds.
+    let seeds: Vec<NodeId> = (0..cfg.n_nodes.min(3)).map(|i| NodeId(i as u32)).collect();
+    if !bootstrap {
+        let member_states: Vec<(scalecheck_gossip::Peer, _)> = (0..cfg.n_nodes)
+            .map(|j| {
+                let id = NodeId(j as u32);
+                (
+                    peer_of(id),
+                    scalecheck_gossip::EndpointState {
+                        heartbeat: scalecheck_gossip::HeartbeatState {
+                            generation: 1,
+                            version: 0,
+                        },
+                        app_version: 0,
+                        app: RingInfo::normal(spread_tokens(id, cfg.vnodes)),
+                    },
+                )
+            })
+            .collect();
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..cfg.n_nodes {
+            for (peer, st) in &member_states {
+                if peer.0 != i as u32 {
+                    nodes[i].gossiper.seed_peer(*peer, st.clone());
+                }
+            }
+            // Pre-populate the ring view with the established members.
+            for j in 0..cfg.n_nodes {
+                if i != j {
+                    let jid = NodeId(j as u32);
+                    nodes[i]
+                        .ring
+                        .add_node(jid, NodeStatus::Normal, spread_tokens(jid, cfg.vnodes))
+                        .expect("distinct tokens");
+                }
+            }
+        }
+    }
+    // Joiners (and everyone at fresh bootstrap) know the seed addresses
+    // only: a zeroed endpoint state that any real gossip supersedes.
+    let joiner_range = if bootstrap {
+        0..total
+    } else {
+        cfg.n_nodes..total
+    };
+    for i in joiner_range {
+        for &s in &seeds {
+            if s != NodeId(i as u32) {
+                nodes[i].gossiper.seed_peer(
+                    peer_of(s),
+                    scalecheck_gossip::EndpointState {
+                        heartbeat: scalecheck_gossip::HeartbeatState {
+                            generation: 0,
+                            version: 0,
+                        },
+                        app_version: 0,
+                        app: RingInfo::normal(vec![]),
+                    },
+                );
+            }
+        }
+    }
+
+    let client_rng = root_rng.fork(999_983);
+    ClusterState {
+        workload_end_at: SimTime::ZERO + cfg.workload_end,
+        client_rng,
+        client_stats: crate::datapath::ClientStats::default(),
+        trace: crate::trace::TraceLog::new(cfg.trace_events),
+        cfg: cfg.clone(),
+        nodes,
+        net: Network::new(cfg.network),
+        park,
+        machine_mem,
+        locks,
+        ring_lock,
+        calc,
+        order_rec: None,
+        order_enf: None,
+        seeds,
+        inflight: 0,
+        deliveries: 0,
+        forced_releases: 0,
+        flap_series: TimeSeries::new(),
+        crashed: 0,
+        stopped_quiescent: false,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Node activation and per-node timers.
+// ---------------------------------------------------------------------
+
+fn activate(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>, i: usize, info: RingInfo) {
+    // Memory admission: runtime overhead plus the node's ring table.
+    let machine = st.nodes[i].machine.0;
+    let mem = &mut st.machine_mem[machine];
+    let first_on_machine = mem.labelled("runtime") == 0;
+    let overhead = if st.cfg.memory.single_process {
+        if first_on_machine {
+            st.cfg.memory.per_process_overhead
+        } else {
+            0
+        }
+    } else {
+        st.cfg.memory.per_process_overhead
+    };
+    let ring_bytes =
+        (st.cfg.total_nodes() * st.cfg.vnodes) as u64 * st.cfg.memory.bytes_per_ring_entry;
+    if mem.alloc("runtime", overhead).is_err() || mem.alloc("ring", ring_bytes).is_err() {
+        // The §8 symptom: "nodes receive out-of-memory exceptions and
+        // crash".
+        st.crashed += 1;
+        st.nodes[i].departed = true;
+        return;
+    }
+
+    st.nodes[i].active = true;
+    st.nodes[i].announce(info);
+    let interval = st.cfg.gossip_interval;
+    let stagger = SimDuration::from_nanos(
+        interval.as_nanos() * (i as u64 % st.cfg.total_nodes() as u64)
+            / st.cfg.total_nodes().max(1) as u64,
+    );
+    ctx.schedule_after(stagger, move |st, ctx| gossip_round(st, ctx, i));
+    let fd_interval = st.cfg.fd_interval;
+    ctx.schedule_after(stagger + fd_interval, move |st, ctx| fd_check(st, ctx, i));
+}
+
+fn gossip_round(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>, i: usize) {
+    let node = &mut st.nodes[i];
+    if !node.active || node.departed {
+        return;
+    }
+    node.gossip_stage.push(ctx.now(), Task::SendRound);
+    pump(st, ctx, i, StageKind::Gossip);
+    let interval = st.cfg.gossip_interval;
+    ctx.schedule_after(interval, move |st, ctx| gossip_round(st, ctx, i));
+}
+
+fn fd_check(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>, i: usize) {
+    let node = &mut st.nodes[i];
+    if !node.active || node.departed {
+        return;
+    }
+    let newly_dead = node.fd.interpret_all(ctx.now());
+    let observer = node.id;
+    for peer in newly_dead {
+        st.trace.push(crate::trace::TraceEvent::Convicted {
+            at: ctx.now(),
+            observer,
+            peer: crate::ringinfo::node_of(peer),
+        });
+    }
+    let interval = st.cfg.fd_interval;
+    ctx.schedule_after(interval, move |st, ctx| fd_check(st, ctx, i));
+}
+
+// ---------------------------------------------------------------------
+// Stage pump and task lifecycle.
+// ---------------------------------------------------------------------
+
+fn stage_of(node: &mut Node, stage: StageKind) -> &mut Stage<Task> {
+    match stage {
+        StageKind::Gossip => &mut node.gossip_stage,
+        StageKind::Calc => &mut node.calc_stage,
+    }
+}
+
+fn pump(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>, i: usize, stage: StageKind) {
+    let now = ctx.now();
+    let node = &mut st.nodes[i];
+    if !node.active || node.departed {
+        return;
+    }
+    let Some(task) = stage_of(node, stage).try_begin(now) else {
+        return;
+    };
+    start_task(st, ctx, i, stage, task);
+}
+
+/// Whether this task must hold the ring lock in the current mode.
+fn needs_lock(cfg: &ScenarioConfig, stage: StageKind, task: &Task) -> bool {
+    match cfg.locking {
+        LockingMode::InlineOnGossipStage => false,
+        LockingMode::CoarseLockThread | LockingMode::SnapshotThread => match task {
+            Task::Receive(_) => stage == StageKind::Gossip,
+            Task::Recalculate => stage == StageKind::Calc,
+            Task::SendRound => false,
+        },
+    }
+}
+
+fn start_task(
+    st: &mut ClusterState,
+    ctx: &mut Ctx<'_, ClusterState>,
+    i: usize,
+    stage: StageKind,
+    task: Task,
+) {
+    if needs_lock(&st.cfg, stage, &task) {
+        let token = ClusterState::lock_token(i, stage);
+        match st.locks.acquire(st.ring_lock[i], token, ctx.now()) {
+            Acquire::Granted => run_task(st, ctx, i, stage, task, true),
+            Acquire::Queued => {
+                let node = &mut st.nodes[i];
+                match stage {
+                    StageKind::Gossip => node.parked_gossip = Some(task),
+                    StageKind::Calc => node.parked_calc = Some(task),
+                }
+            }
+        }
+    } else {
+        run_task(st, ctx, i, stage, task, false);
+    }
+}
+
+fn release_ring_lock(
+    st: &mut ClusterState,
+    ctx: &mut Ctx<'_, ClusterState>,
+    i: usize,
+    stage: StageKind,
+) {
+    let token = ClusterState::lock_token(i, stage);
+    if let Some(next) = st.locks.release(st.ring_lock[i], token, ctx.now()) {
+        let next_stage = if next % 2 == 0 {
+            StageKind::Gossip
+        } else {
+            StageKind::Calc
+        };
+        let j = (next / 2) as usize;
+        ctx.schedule_after(SimDuration::ZERO, move |st, ctx| {
+            lock_granted(st, ctx, j, next_stage)
+        });
+    }
+}
+
+fn lock_granted(
+    st: &mut ClusterState,
+    ctx: &mut Ctx<'_, ClusterState>,
+    i: usize,
+    stage: StageKind,
+) {
+    let node = &mut st.nodes[i];
+    let parked = match stage {
+        StageKind::Gossip => node.parked_gossip.take(),
+        StageKind::Calc => node.parked_calc.take(),
+    };
+    match parked {
+        Some(task) => run_task(st, ctx, i, stage, task, true),
+        None => {
+            // The waiter vanished (node crashed/departed): release so the
+            // lock does not leak.
+            release_ring_lock(st, ctx, i, stage);
+        }
+    }
+}
+
+/// Submits compute of `demand` for node `i`, returning its completion
+/// time. In PIL mode, PIL-replaced work (`pil_replaced = true`) sleeps
+/// instead of occupying a core.
+fn compute(
+    st: &mut ClusterState,
+    now: SimTime,
+    i: usize,
+    demand: SimDuration,
+    pil_replaced: bool,
+) -> SimTime {
+    let pil_mode = matches!(st.cfg.deployment, DeploymentMode::PilReplay { .. });
+    if pil_mode && pil_replaced {
+        now + demand
+    } else {
+        let machine = st.nodes[i].machine;
+        st.park.get_mut(machine).submit(now, demand).finish
+    }
+}
+
+fn run_task(
+    st: &mut ClusterState,
+    ctx: &mut Ctx<'_, ClusterState>,
+    i: usize,
+    stage: StageKind,
+    task: Task,
+    holds_lock: bool,
+) {
+    let now = ctx.now();
+    match task {
+        Task::SendRound => {
+            let demand = st.cfg.msg_base_cost
+                + st.cfg
+                    .per_endpoint_cost
+                    .saturating_mul(st.nodes[i].gossiper.endpoints().len() as u64);
+            let done_at = compute(st, now, i, demand, false);
+            ctx.schedule_at(done_at, move |st, ctx| {
+                finish_send_round(st, ctx, i, stage);
+            });
+        }
+        Task::Receive(env) => {
+            let demand = st.cfg.msg_base_cost
+                + st.cfg
+                    .per_endpoint_cost
+                    .saturating_mul(env.msg.entries() as u64);
+            let done_at = compute(st, now, i, demand, false);
+            ctx.schedule_at(done_at, move |st, ctx| {
+                finish_receive(st, ctx, i, stage, env, holds_lock);
+            });
+        }
+        Task::Recalculate => match st.cfg.locking {
+            LockingMode::SnapshotThread => {
+                // Clone the ring under the lock (cheap), release early,
+                // compute off-lock from the snapshot — the C5456 fix.
+                let clone_cost =
+                    SimDuration::from_nanos(100 * (st.cfg.total_nodes() * st.cfg.vnodes) as u64);
+                let done_at = compute(st, now, i, clone_cost, false);
+                ctx.schedule_at(done_at, move |st, ctx| {
+                    let snapshot = st.nodes[i].ring.clone();
+                    if holds_lock {
+                        release_ring_lock(st, ctx, i, StageKind::Calc);
+                    }
+                    begin_calc_compute(st, ctx, i, stage, snapshot, false);
+                });
+            }
+            _ => {
+                // Coarse mode: compute while holding the lock.
+                let snapshot = st.nodes[i].ring.clone();
+                begin_calc_compute(st, ctx, i, stage, snapshot, holds_lock);
+            }
+        },
+    }
+}
+
+/// Starts the pending-range computation from `ring_view`; schedules its
+/// application.
+fn begin_calc_compute(
+    st: &mut ClusterState,
+    ctx: &mut Ctx<'_, ClusterState>,
+    i: usize,
+    stage: StageKind,
+    ring_view: RingTable,
+    release_lock_after: bool,
+) {
+    let now = ctx.now();
+    let changes = changes_of(&ring_view);
+    let idx = st.nodes[i].calc_invocations;
+    st.nodes[i].calc_invocations += 1;
+    let (pending, duration, _source) =
+        st.calc
+            .calculate(st.nodes[i].id.0, idx, &ring_view, &changes);
+    let done_at = compute(st, now, i, duration, true);
+    ctx.schedule_at(done_at, move |st, ctx| {
+        st.trace.push(crate::trace::TraceEvent::CalcFinished {
+            at: ctx.now(),
+            node: st.nodes[i].id,
+            duration,
+        });
+        finish_calc(st, ctx, i, stage, pending, release_lock_after);
+    });
+}
+
+fn changes_of(ring: &RingTable) -> Vec<scalecheck_ring::TopologyChange> {
+    let mut out = Vec::new();
+    for (id, ns) in ring.iter() {
+        match ns.status {
+            NodeStatus::Joining => out.push(scalecheck_ring::TopologyChange::Join {
+                node: id,
+                tokens: ns.tokens.clone(),
+            }),
+            NodeStatus::Leaving => out.push(scalecheck_ring::TopologyChange::Leave { node: id }),
+            _ => {}
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Task completions.
+// ---------------------------------------------------------------------
+
+fn finish_send_round(
+    st: &mut ClusterState,
+    ctx: &mut Ctx<'_, ClusterState>,
+    i: usize,
+    stage: StageKind,
+) {
+    let node = &mut st.nodes[i];
+    if node.active && !node.departed {
+        node.gossiper.beat();
+        let mut candidates = node.gossip_candidates();
+        if candidates.is_empty() {
+            candidates = st.seeds.iter().copied().filter(|&s| s != node.id).collect();
+        }
+        if !candidates.is_empty() {
+            let target = candidates[node.rng.gen_index(candidates.len())];
+            let syn = node.gossiper.make_syn();
+            send_msg(st, ctx, i, target, GossipMessage::Syn(syn));
+        }
+    }
+    end_task(st, ctx, i, stage, false);
+}
+
+fn finish_receive(
+    st: &mut ClusterState,
+    ctx: &mut Ctx<'_, ClusterState>,
+    i: usize,
+    stage: StageKind,
+    env: Envelope,
+    holds_lock: bool,
+) {
+    let now = ctx.now();
+    // Order bookkeeping at processing time.
+    if let Some(rec) = st.order_rec.as_mut() {
+        rec.record(st.nodes[i].id.0, env.key);
+    }
+    if let Some(enf) = st.order_enf.as_mut() {
+        if enf.expected(st.nodes[i].id.0) == Some(env.key) {
+            enf.advance(st.nodes[i].id.0, env.key);
+        }
+    }
+
+    let mut trigger = false;
+    if st.nodes[i].active && !st.nodes[i].departed {
+        let src = env.src;
+        let outcome = match env.msg {
+            GossipMessage::Syn(ref syn) => {
+                let ack = st.nodes[i].gossiper.handle_syn(syn);
+                send_msg(st, ctx, i, src, GossipMessage::Ack(ack));
+                None
+            }
+            GossipMessage::Ack(ref ack) => {
+                let (outcome, ack2) = st.nodes[i].gossiper.handle_ack(ack);
+                if !ack2.deltas.is_empty() {
+                    send_msg(st, ctx, i, src, GossipMessage::Ack2(ack2));
+                }
+                Some(outcome)
+            }
+            GossipMessage::Ack2(ref ack2) => Some(st.nodes[i].gossiper.handle_ack2(ack2)),
+        };
+        if let Some(outcome) = outcome {
+            let node = &mut st.nodes[i];
+            let touched: Vec<scalecheck_gossip::Peer> = outcome
+                .heartbeat_advanced
+                .iter()
+                .chain(outcome.app_advanced.iter())
+                .copied()
+                .collect();
+            let view = node.apply_outcome(&outcome, now);
+            let window_open = node.pending_window_open();
+            let touched_pending = touched.iter().any(|p| {
+                node.gossiper.endpoint(*p).is_some_and(|s| {
+                    matches!(s.app.status, NodeStatus::Joining | NodeStatus::Leaving)
+                })
+            });
+            trigger = view.topology_changed || (window_open && touched_pending);
+        }
+    }
+
+    if trigger {
+        match st.cfg.locking {
+            LockingMode::InlineOnGossipStage => {
+                // Cassandra's architecture: the calculation runs
+                // synchronously inside gossip application — the stage
+                // stays busy for the whole compute.
+                let snapshot = st.nodes[i].ring.clone();
+                begin_calc_compute(st, ctx, i, stage, snapshot, holds_lock);
+                release_held(st, ctx, i);
+                return;
+            }
+            _ => {
+                let node = &mut st.nodes[i];
+                if node.calc_queued {
+                    node.calc_dirty = true;
+                } else {
+                    node.calc_queued = true;
+                    node.calc_stage.push(now, Task::Recalculate);
+                    // Pump after finishing this task (below).
+                }
+            }
+        }
+    }
+    if holds_lock {
+        release_ring_lock(st, ctx, i, stage);
+    }
+    end_task(st, ctx, i, stage, false);
+    release_held(st, ctx, i);
+    pump(st, ctx, i, StageKind::Calc);
+}
+
+fn finish_calc(
+    st: &mut ClusterState,
+    ctx: &mut Ctx<'_, ClusterState>,
+    i: usize,
+    stage: StageKind,
+    pending: PendingRanges,
+    release_lock_after: bool,
+) {
+    apply_pending(st, ctx.now(), i, pending);
+    if release_lock_after {
+        release_ring_lock(st, ctx, i, StageKind::Calc);
+    }
+    // Thread modes: honour the dirty flag.
+    if stage == StageKind::Calc {
+        let now = ctx.now();
+        let node = &mut st.nodes[i];
+        if node.calc_dirty {
+            node.calc_dirty = false;
+            node.calc_stage.push(now, Task::Recalculate);
+        } else {
+            node.calc_queued = false;
+        }
+    }
+    end_task(st, ctx, i, stage, true);
+}
+
+/// Applies a computed pending-range set: stores it and models the §6
+/// rebalance allocation if configured.
+fn apply_pending(st: &mut ClusterState, now: SimTime, i: usize, pending: PendingRanges) {
+    let has_pending = !pending.is_empty();
+    st.nodes[i].pending = pending;
+    let Some(strategy) = st.cfg.memory.rebalance_alloc else {
+        return;
+    };
+    let machine = st.nodes[i].machine.0;
+    let per_service = (13 << 20) / 10; // 1.3 MB
+    let n = st.cfg.total_nodes() as u64;
+    let p = st.cfg.vnodes as u64;
+    let want = if has_pending {
+        match strategy {
+            AllocStrategy::Naive => (n - 1) * p * per_service,
+            AllocStrategy::Frugal => p * per_service,
+        }
+    } else {
+        0
+    };
+    let have = st.nodes[i].rebalance_bytes;
+    if want > have {
+        if st.machine_mem[machine]
+            .alloc("rebalance", want - have)
+            .is_err()
+        {
+            // OOM: the node crashes (§8).
+            st.machine_mem[machine].free("rebalance", have);
+            st.nodes[i].rebalance_bytes = 0;
+            st.nodes[i].active = false;
+            st.nodes[i].departed = true;
+            st.crashed += 1;
+            st.trace.push(crate::trace::TraceEvent::NodeCrashed {
+                at: now,
+                node: st.nodes[i].id,
+            });
+            return;
+        }
+        st.nodes[i].rebalance_bytes = want;
+    } else if want < have {
+        st.machine_mem[machine].free("rebalance", have - want);
+        st.nodes[i].rebalance_bytes = want;
+    }
+}
+
+/// Finishes the current stage task and pulls the next one.
+fn end_task(
+    st: &mut ClusterState,
+    ctx: &mut Ctx<'_, ClusterState>,
+    i: usize,
+    stage: StageKind,
+    _was_calc: bool,
+) {
+    stage_of(&mut st.nodes[i], stage).finish();
+    pump(st, ctx, i, stage);
+}
+
+// ---------------------------------------------------------------------
+// Messaging.
+// ---------------------------------------------------------------------
+
+fn send_msg(
+    st: &mut ClusterState,
+    ctx: &mut Ctx<'_, ClusterState>,
+    i: usize,
+    dst: NodeId,
+    msg: GossipMessage,
+) {
+    let kind = msg.kind();
+    let key = st.nodes[i].next_key(dst, kind);
+    let src = st.nodes[i].id;
+    let now = ctx.now();
+    if let Ok((_id, deliver_at)) = st.net.send(now, ctx.rng(), addr_of(src), addr_of(dst)) {
+        st.inflight += 1;
+        let env = Envelope { src, dst, key, msg };
+        ctx.schedule_at(deliver_at, move |st, ctx| deliver(st, ctx, env));
+    }
+}
+
+fn deliver(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>, env: Envelope) {
+    st.inflight -= 1;
+    let i = env.dst.0 as usize;
+    if i >= st.nodes.len() || !st.nodes[i].active || st.nodes[i].departed {
+        return;
+    }
+    st.deliveries += 1;
+    let now = ctx.now();
+    if let Some(enf) = st.order_enf.as_mut() {
+        match enf.classify(env.dst.0, env.key) {
+            OrderDecision::ProcessNow | OrderDecision::NotInLog => {
+                st.nodes[i].gossip_stage.push(now, Task::Receive(env));
+            }
+            OrderDecision::HoldForLater => {
+                let deadline = now + st.cfg.order_hold_timeout;
+                st.nodes[i].held.push((deadline, env));
+                ctx.schedule_at(deadline, move |st, ctx| flush_expired_held(st, ctx, i));
+                return;
+            }
+        }
+    } else {
+        st.nodes[i].gossip_stage.push(now, Task::Receive(env));
+    }
+    pump(st, ctx, i, StageKind::Gossip);
+}
+
+/// Moves the next expected held message (if any) onto the stage.
+fn release_held(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>, i: usize) {
+    let Some(enf) = st.order_enf.as_ref() else {
+        return;
+    };
+    let node_id = st.nodes[i].id.0;
+    let Some(expected) = enf.expected(node_id) else {
+        // Log exhausted: flush everything held.
+        let now = ctx.now();
+        let held = std::mem::take(&mut st.nodes[i].held);
+        for (_, env) in held {
+            st.nodes[i].gossip_stage.push(now, Task::Receive(env));
+        }
+        pump(st, ctx, i, StageKind::Gossip);
+        return;
+    };
+    if let Some(pos) = st.nodes[i].held.iter().position(|(_, e)| e.key == expected) {
+        let (_, env) = st.nodes[i].held.remove(pos);
+        let now = ctx.now();
+        st.nodes[i].gossip_stage.push(now, Task::Receive(env));
+        pump(st, ctx, i, StageKind::Gossip);
+    }
+}
+
+/// Releases held messages whose hold deadline has passed: replay
+/// divergence must delay, not deadlock. Forced releases are counted.
+fn flush_expired_held(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>, i: usize) {
+    let now = ctx.now();
+    let mut released = false;
+    let mut held = std::mem::take(&mut st.nodes[i].held);
+    held.retain(|(deadline, env)| {
+        if *deadline <= now {
+            st.forced_releases += 1;
+            st.nodes[i]
+                .gossip_stage
+                .push(now, Task::Receive(env.clone()));
+            released = true;
+            false
+        } else {
+            true
+        }
+    });
+    st.nodes[i].held = held;
+    if released {
+        pump(st, ctx, i, StageKind::Gossip);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workload scheduling.
+// ---------------------------------------------------------------------
+
+fn schedule_workload(engine: &mut Engine<ClusterState>, cfg: &ScenarioConfig) {
+    match cfg.workload {
+        Workload::Decommission { count, gap } => {
+            let first = SimTime::from_secs(40);
+            let window = cfg.rescale_window;
+            for k in 0..count.min(cfg.n_nodes.saturating_sub(1)) {
+                let i = cfg.n_nodes - 1 - k;
+                let t = first + gap.saturating_mul(k as u64);
+                engine.schedule_at(t, move |st: &mut ClusterState, ctx| {
+                    let tokens = st.nodes[i]
+                        .ring
+                        .node(NodeId(i as u32))
+                        .map(|s| s.tokens.clone())
+                        .unwrap_or_default();
+                    st.nodes[i].announce(RingInfo {
+                        status: NodeStatus::Leaving,
+                        tokens,
+                    });
+                    let _ = ctx;
+                });
+                engine.schedule_at(t + window, move |st, _ctx| {
+                    st.nodes[i].announce(RingInfo {
+                        status: NodeStatus::Left,
+                        tokens: vec![],
+                    });
+                });
+                engine.schedule_at(t + window + SimDuration::from_secs(10), move |st, _ctx| {
+                    st.nodes[i].departed = true;
+                    st.nodes[i].gossip_stage.clear();
+                    st.nodes[i].calc_stage.clear();
+                });
+            }
+        }
+        Workload::ScaleOut { count, gap } => {
+            let first = SimTime::from_secs(40);
+            let window = cfg.rescale_window;
+            for k in 0..count {
+                let i = cfg.n_nodes + k;
+                let t = first + gap.saturating_mul(k as u64);
+                let vnodes = cfg.vnodes;
+                engine.schedule_at(t, move |st: &mut ClusterState, ctx| {
+                    let tokens = spread_tokens(NodeId(i as u32), vnodes);
+                    activate(st, ctx, i, RingInfo::joining(tokens));
+                });
+                engine.schedule_at(t + window, move |st, _ctx| {
+                    if st.nodes[i].active {
+                        let tokens = spread_tokens(NodeId(i as u32), vnodes);
+                        st.nodes[i].announce(RingInfo::normal(tokens));
+                    }
+                });
+            }
+        }
+        Workload::BootstrapFromScratch => {
+            // Activation is handled in run(); the Normal flip happens
+            // per-node 45 s after its activation.
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The run loop.
+// ---------------------------------------------------------------------
+
+/// Runs a scenario to quiescence (or the hard cap) and reports.
+///
+/// `db` carries a memo database into a replay run; the database the run
+/// ends with (populated by a recording run) is returned alongside the
+/// report.
+pub fn run_scenario_with_db(
+    cfg: &ScenarioConfig,
+    db: Option<scalecheck_memo::MemoDb<PendingWire>>,
+    order_log: Option<OrderRecorder>,
+) -> (
+    RunReport,
+    scalecheck_memo::MemoDb<PendingWire>,
+    Option<OrderRecorder>,
+) {
+    let calc = match db {
+        Some(db) => CalcEngine::with_db(cfg.calculator, cfg.ns_per_op, cfg.calc_io, db),
+        None => CalcEngine::new(cfg.calculator, cfg.ns_per_op, cfg.calc_io),
+    };
+    let mut state = build(cfg, calc);
+    if cfg.calc_io == CalcIo::Record {
+        state.order_rec = Some(OrderRecorder::new());
+    }
+    if cfg.calc_io == CalcIo::Replay && cfg.order_enforcement {
+        if let Some(log) = order_log {
+            state.order_enf = Some(log.into_enforcer());
+        }
+    }
+
+    let mut engine: Engine<ClusterState> = Engine::new(cfg.seed);
+
+    // Activate the initial population.
+    let bootstrap = matches!(cfg.workload, Workload::BootstrapFromScratch);
+    for i in 0..cfg.n_nodes {
+        let vnodes = cfg.vnodes;
+        let stagger = if bootstrap {
+            SimDuration::from_millis((i as u64 * 5000) / cfg.n_nodes.max(1) as u64)
+        } else {
+            SimDuration::ZERO
+        };
+        engine.schedule_at(
+            SimTime::ZERO + stagger,
+            move |st: &mut ClusterState, ctx| {
+                let id = NodeId(i as u32);
+                let tokens = spread_tokens(id, vnodes);
+                let info = if matches!(st.cfg.workload, Workload::BootstrapFromScratch) {
+                    RingInfo::joining(tokens)
+                } else {
+                    RingInfo::normal(tokens)
+                };
+                activate(st, ctx, i, info);
+                if matches!(st.cfg.workload, Workload::BootstrapFromScratch) {
+                    let window = st.cfg.rescale_window;
+                    ctx.schedule_after(window, move |st: &mut ClusterState, _| {
+                        if st.nodes[i].active && !st.nodes[i].departed {
+                            let tokens = spread_tokens(NodeId(i as u32), st.cfg.vnodes);
+                            st.nodes[i].announce(RingInfo::normal(tokens));
+                        }
+                    });
+                }
+            },
+        );
+    }
+    schedule_workload(&mut engine, cfg);
+
+    // Flap-series sampling.
+    fn sample_flaps(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>) {
+        let flaps = st.total_flaps();
+        st.flap_series.push(ctx.now(), flaps as f64);
+        ctx.schedule_after(SimDuration::from_secs(5), sample_flaps);
+    }
+    engine.schedule_at(SimTime::ZERO, sample_flaps);
+
+    // Client availability probe (the user-visible impact of flapping).
+    fn client_tick(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>) {
+        let ops = st.cfg.client.ops_per_sec;
+        if ops > 0 {
+            let quorum = st.cfg.client.quorum;
+            crate::datapath::run_probe_batch(
+                &st.nodes,
+                &mut st.client_rng,
+                ops,
+                quorum,
+                ctx.now(),
+                &mut st.client_stats,
+            );
+        }
+        ctx.schedule_after(SimDuration::from_secs(1), client_tick);
+    }
+    if cfg.client.ops_per_sec > 0 {
+        engine.schedule_at(SimTime::from_millis(700), client_tick);
+    }
+
+    // Quiescence detection after the workload completes.
+    fn quiesce_check(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>) {
+        if ctx.now() >= st.workload_end_at && st.is_quiescent() {
+            st.stopped_quiescent = true;
+            ctx.stop();
+        } else {
+            ctx.schedule_after(SimDuration::from_millis(2300), quiesce_check);
+        }
+    }
+    engine.schedule_at(SimTime::from_millis(300), quiesce_check);
+
+    let deadline = SimTime::ZERO + cfg.max_duration;
+    engine.run_until(&mut state, deadline);
+    let ended = engine.now();
+
+    let report = assemble_report(&state, ended);
+    let order_out = state.order_rec.take();
+    let calc = state.calc;
+    (report, calc.into_db(), order_out)
+}
+
+/// Runs a scenario with no memo database interaction carried across
+/// runs.
+pub fn run_scenario(cfg: &ScenarioConfig) -> RunReport {
+    run_scenario_with_db(cfg, None, None).0
+}
+
+fn assemble_report(st: &ClusterState, ended: SimTime) -> RunReport {
+    let mut lateness = scalecheck_sim::Histogram::new();
+    for n in &st.nodes {
+        lateness.merge(n.gossip_stage.lateness());
+        lateness.merge(n.calc_stage.lateness());
+    }
+    let cpu_utilization = st
+        .park
+        .iter()
+        .map(|(_, m)| m.utilization(ended))
+        .fold(0.0f64, f64::max);
+    let peak_runnable = st
+        .park
+        .iter()
+        .map(|(_, m)| m.peak_runnable())
+        .max()
+        .unwrap_or(0);
+    let mem_peak_bytes = st.machine_mem.iter().map(|m| m.peak()).max().unwrap_or(0);
+    let oom_events = st.machine_mem.iter().map(|m| m.oom_events()).sum();
+
+    RunReport {
+        total_flaps: st.total_flaps(),
+        per_node_flaps: st.nodes.iter().map(|n| n.fd.flaps()).collect(),
+        recoveries: st.nodes.iter().map(|n| n.fd.recoveries()).sum(),
+        flap_series: st.flap_series.clone(),
+        duration: ended.since(SimTime::ZERO),
+        quiesced: st.stopped_quiescent,
+        calc: st.calc.stats(),
+        memo: st.calc.db().stats(),
+        messages_sent: st.net.sent(),
+        messages_dropped: st.net.dropped(),
+        messages_delivered: st.deliveries,
+        max_stage_lateness: lateness.max(),
+        p99_stage_lateness: lateness.quantile(0.99),
+        cpu_utilization,
+        peak_runnable,
+        mem_peak_bytes,
+        oom_events,
+        crashed_nodes: st.crashed,
+        order_out_of_log: st.order_enf.as_ref().map_or(0, |e| e.out_of_log()),
+        order_forced_releases: st.forced_releases,
+        client_ops_attempted: st.client_stats.attempted,
+        client_ops_failed: st.client_stats.failed,
+        trace: st.trace.clone(),
+    }
+}
+
+/// How many peers each node currently considers dead (diagnostic).
+pub fn dead_view(st: &ClusterState) -> Vec<usize> {
+    st.nodes
+        .iter()
+        .map(|n| {
+            n.fd.dead_peers()
+                .iter()
+                .filter(|&&p| n.fd.liveness(p) == Some(Liveness::Dead))
+                .count()
+        })
+        .collect()
+}

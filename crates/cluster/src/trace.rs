@@ -1,0 +1,155 @@
+//! Deterministic run traces for replay debugging.
+//!
+//! §7's punchline is the debugging loop: "the developers can add more
+//! logs to debug the code at step e and replay again." That only works
+//! because the PIL replay is deterministic — the same events happen at
+//! the same virtual times on every replay. [`TraceLog`] records the
+//! run's interesting events (convictions, recoveries, calculations,
+//! crashes) when enabled; two replays of the same artifacts produce
+//! bit-identical traces, which the integration tests assert.
+
+use scalecheck_ring::NodeId;
+use scalecheck_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One traced event.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// `observer` convicted `peer` as dead (a flap).
+    Convicted {
+        /// Virtual time.
+        at: SimTime,
+        /// The node doing the convicting.
+        observer: NodeId,
+        /// The convicted peer.
+        peer: NodeId,
+    },
+    /// A pending-range calculation finished on `node`.
+    CalcFinished {
+        /// Virtual time of completion.
+        at: SimTime,
+        /// The computing node.
+        node: NodeId,
+        /// The calculation's virtual compute duration.
+        duration: SimDuration,
+    },
+    /// `node` crashed (e.g. out of memory).
+    NodeCrashed {
+        /// Virtual time.
+        at: SimTime,
+        /// The crashed node.
+        node: NodeId,
+    },
+    /// `node` changed its gossiped ring status (the workload's moves).
+    StatusAnnounced {
+        /// Virtual time.
+        at: SimTime,
+        /// The announcing node.
+        node: NodeId,
+        /// Debug rendering of the new status.
+        status: String,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp.
+    pub fn at(&self) -> SimTime {
+        match self {
+            TraceEvent::Convicted { at, .. }
+            | TraceEvent::CalcFinished { at, .. }
+            | TraceEvent::NodeCrashed { at, .. }
+            | TraceEvent::StatusAnnounced { at, .. } => *at,
+        }
+    }
+}
+
+/// An append-only, optionally enabled event log.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TraceLog {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl TraceLog {
+    /// Creates a log; disabled logs drop every event at zero cost.
+    pub fn new(enabled: bool) -> Self {
+        TraceLog {
+            enabled,
+            events: Vec::new(),
+        }
+    }
+
+    /// Appends an event if enabled.
+    #[inline]
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.enabled {
+            self.events.push(ev);
+        }
+    }
+
+    /// Whether events are being kept.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(s: u64) -> TraceEvent {
+        TraceEvent::Convicted {
+            at: SimTime::from_secs(s),
+            observer: NodeId(1),
+            peer: NodeId(2),
+        }
+    }
+
+    #[test]
+    fn disabled_log_drops_everything() {
+        let mut log = TraceLog::new(false);
+        log.push(ev(1));
+        assert!(log.is_empty());
+        assert!(!log.enabled());
+    }
+
+    #[test]
+    fn enabled_log_keeps_order() {
+        let mut log = TraceLog::new(true);
+        log.push(ev(1));
+        log.push(TraceEvent::CalcFinished {
+            at: SimTime::from_secs(2),
+            node: NodeId(3),
+            duration: SimDuration::from_secs(1),
+        });
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.events()[0].at(), SimTime::from_secs(1));
+        assert_eq!(log.events()[1].at(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn events_serialize() {
+        let e = TraceEvent::NodeCrashed {
+            at: SimTime::from_secs(5),
+            node: NodeId(7),
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: TraceEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

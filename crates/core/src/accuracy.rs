@@ -1,0 +1,165 @@
+//! Accuracy metrics: how close is scale-check to real-scale testing?
+//!
+//! The paper's accuracy claim (§5, §8) is that colocated nodes should
+//! "generate a similar behavior as if they run on independent
+//! machines". The metric of record is the flap count (Figure 3); we
+//! compare whole sweeps: per-scale relative error plus the *onset*
+//! scale at which symptoms first appear (Figure 3's "symptoms only
+//! surface at large N" shape).
+
+use serde::{Deserialize, Serialize};
+
+/// One (scale, flaps) series, e.g. one line of a Figure 3 panel.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FlapSweep {
+    /// Cluster sizes.
+    pub scales: Vec<usize>,
+    /// Flap totals, one per scale.
+    pub flaps: Vec<u64>,
+}
+
+impl FlapSweep {
+    /// Creates a sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn new(scales: Vec<usize>, flaps: Vec<u64>) -> Self {
+        assert_eq!(scales.len(), flaps.len(), "sweep lengths must match");
+        FlapSweep { scales, flaps }
+    }
+
+    /// The smallest scale at which flaps exceed `threshold` (the
+    /// symptom onset), if any.
+    pub fn onset(&self, threshold: u64) -> Option<usize> {
+        self.scales
+            .iter()
+            .zip(&self.flaps)
+            .find(|(_, &f)| f > threshold)
+            .map(|(&s, _)| s)
+    }
+}
+
+/// Agreement between a candidate sweep and the real-scale reference.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepComparison {
+    /// Symmetric relative error per scale, in `[0, 2]`.
+    pub per_scale_error: Vec<f64>,
+    /// Mean of `per_scale_error`.
+    pub mean_error: f64,
+    /// Whether both sweeps have their symptom onset at the same scale.
+    pub same_onset: bool,
+    /// Ratio candidate/reference at the largest scale (1.0 = perfect).
+    pub peak_ratio: f64,
+}
+
+/// Symmetric relative error between two counts: `|a-b| / max(a, b)`,
+/// zero when both are zero. Bounded by 1 and symmetric, which keeps
+/// zero-flap scales meaningful (absolute error would).
+fn sym_err(a: u64, b: u64) -> f64 {
+    let m = a.max(b);
+    if m == 0 {
+        0.0
+    } else {
+        (a.abs_diff(b)) as f64 / m as f64
+    }
+}
+
+/// Compares a candidate sweep against the real-scale reference.
+///
+/// `onset_threshold` defines "symptoms present" (the paper's panels use
+/// a visually-obvious threshold; a few hundred flaps works).
+///
+/// # Panics
+///
+/// Panics if the sweeps cover different scales.
+pub fn compare_sweeps(
+    reference: &FlapSweep,
+    candidate: &FlapSweep,
+    onset_threshold: u64,
+) -> SweepComparison {
+    assert_eq!(
+        reference.scales, candidate.scales,
+        "sweeps must cover the same scales"
+    );
+    let per_scale_error: Vec<f64> = reference
+        .flaps
+        .iter()
+        .zip(&candidate.flaps)
+        .map(|(&r, &c)| sym_err(r, c))
+        .collect();
+    let mean_error = if per_scale_error.is_empty() {
+        0.0
+    } else {
+        per_scale_error.iter().sum::<f64>() / per_scale_error.len() as f64
+    };
+    let peak_ratio = match (reference.flaps.last(), candidate.flaps.last()) {
+        (Some(&r), Some(&c)) if r > 0 => c as f64 / r as f64,
+        (Some(&r), Some(&c)) if r == 0 && c == 0 => 1.0,
+        _ => f64::INFINITY,
+    };
+    SweepComparison {
+        per_scale_error,
+        mean_error,
+        same_onset: reference.onset(onset_threshold) == candidate.onset(onset_threshold),
+        peak_ratio,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sweeps_are_perfect() {
+        let a = FlapSweep::new(vec![32, 64, 128, 256], vec![0, 0, 10, 5000]);
+        let cmp = compare_sweeps(&a, &a.clone(), 100);
+        assert_eq!(cmp.mean_error, 0.0);
+        assert!(cmp.same_onset);
+        assert_eq!(cmp.peak_ratio, 1.0);
+    }
+
+    #[test]
+    fn onset_detection() {
+        let a = FlapSweep::new(vec![32, 64, 128, 256], vec![0, 3, 150, 9000]);
+        assert_eq!(a.onset(100), Some(128));
+        assert_eq!(a.onset(10_000), None);
+        assert_eq!(a.onset(0), Some(64));
+    }
+
+    #[test]
+    fn colo_style_overshoot_is_flagged() {
+        let real = FlapSweep::new(vec![64, 128, 256], vec![0, 0, 10_000]);
+        let colo = FlapSweep::new(vec![64, 128, 256], vec![500, 30_000, 250_000]);
+        let cmp = compare_sweeps(&real, &colo, 300);
+        assert!(!cmp.same_onset, "colo onsets earlier");
+        assert!(cmp.peak_ratio > 10.0);
+        assert!(cmp.mean_error > 0.5);
+    }
+
+    #[test]
+    fn pil_style_agreement_scores_well() {
+        let real = FlapSweep::new(vec![64, 128, 256], vec![0, 200, 10_000]);
+        let pil = FlapSweep::new(vec![64, 128, 256], vec![0, 240, 11_500]);
+        let cmp = compare_sweeps(&real, &pil, 100);
+        assert!(cmp.same_onset);
+        assert!(cmp.mean_error < 0.2, "mean err {}", cmp.mean_error);
+        assert!((cmp.peak_ratio - 1.15).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_zero_scales_count_as_agreement() {
+        let real = FlapSweep::new(vec![32, 256], vec![0, 100]);
+        let pil = FlapSweep::new(vec![32, 256], vec![0, 100]);
+        let cmp = compare_sweeps(&real, &pil, 10);
+        assert_eq!(cmp.per_scale_error, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same scales")]
+    fn mismatched_scales_panic() {
+        let a = FlapSweep::new(vec![32], vec![0]);
+        let b = FlapSweep::new(vec![64], vec![0]);
+        compare_sweeps(&a, &b, 10);
+    }
+}

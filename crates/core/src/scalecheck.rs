@@ -1,0 +1,166 @@
+//! The ScaleCheck facade: one-call access to the paper's pipelines.
+//!
+//! * [`run_real`] — real-scale testing (Figure 1a): the ground truth.
+//! * [`run_colo`] — basic colocation (Figure 1b): cheap but inaccurate.
+//! * [`memoize`] — the one-time instrumented colocation run
+//!   (Figure 2 step d) that fills the memo database and order log.
+//! * [`replay`] — the fast, accurate PIL-infused replay
+//!   (Figure 2 steps e–f).
+//! * [`scale_check`] — memoize once, then replay: the paper's full
+//!   "SC+PIL" pipeline.
+
+use scalecheck_cluster::{
+    run_scenario_with_db, CalcIo, DeploymentMode, PendingWire, RunReport, ScenarioConfig,
+};
+use scalecheck_memo::{MemoDb, OrderRecorder};
+
+/// Cores on the paper's colocation machine (a 16-core Nome node).
+pub const COLO_CORES: usize = 16;
+
+/// Artifacts of a memoization run: the database plus the recorded
+/// message order.
+pub struct MemoArtifacts {
+    /// The memo database (input → output, duration).
+    pub db: MemoDb<PendingWire>,
+    /// Per-node processed-message order.
+    pub order: OrderRecorder,
+    /// The memoization run's own report (it *is* a Colo run).
+    pub report: RunReport,
+}
+
+/// Results of the full scale-check pipeline.
+pub struct ScaleCheckResult {
+    /// The memoization artifacts.
+    pub memo: MemoArtifacts,
+    /// The PIL-infused replay's report.
+    pub replay: RunReport,
+}
+
+/// Runs the scenario at real scale (every node on its own machine).
+pub fn run_real(cfg: &ScenarioConfig) -> RunReport {
+    let cfg = cfg
+        .clone()
+        .with_deployment(DeploymentMode::Real)
+        .with_calc_io(CalcIo::Execute);
+    run_scenario_with_db(&cfg, None, None).0
+}
+
+/// Runs the scenario under basic colocation on `cores` cores.
+pub fn run_colo(cfg: &ScenarioConfig, cores: usize) -> RunReport {
+    let cfg = cfg
+        .clone()
+        .with_deployment(DeploymentMode::Colo { cores })
+        .with_calc_io(CalcIo::Execute);
+    run_scenario_with_db(&cfg, None, None).0
+}
+
+/// The one-time memoization run: basic colocation with input/output/
+/// duration recording and order logging.
+pub fn memoize(cfg: &ScenarioConfig, cores: usize) -> MemoArtifacts {
+    let cfg = cfg
+        .clone()
+        .with_deployment(DeploymentMode::Colo { cores })
+        .with_calc_io(CalcIo::Record);
+    let (report, db, order) = run_scenario_with_db(&cfg, None, None);
+    MemoArtifacts {
+        db,
+        order: order.unwrap_or_default(),
+        report,
+    }
+}
+
+/// A PIL-infused replay over previously memoized artifacts.
+///
+/// Input lookups go by content digest; in this substrate the
+/// calculation inputs converge deterministically, so digest hits
+/// dominate and §5's order enforcement is left off by default (it is
+/// implemented and measurable — see [`replay_ordered`] and the
+/// fix-ablation experiment).
+pub fn replay(cfg: &ScenarioConfig, cores: usize, memo: &MemoArtifacts) -> RunReport {
+    let mut cfg = cfg
+        .clone()
+        .with_deployment(DeploymentMode::PilReplay { cores })
+        .with_calc_io(CalcIo::Replay);
+    cfg.order_enforcement = false;
+    run_scenario_with_db(&cfg, Some(memo.db.clone()), Some(memo.order.clone())).0
+}
+
+/// A PIL-infused replay that also enforces the recorded per-node
+/// message-processing order (§5 order determinism), with the configured
+/// hold timeout bounding divergence damage.
+pub fn replay_ordered(cfg: &ScenarioConfig, cores: usize, memo: &MemoArtifacts) -> RunReport {
+    let mut cfg = cfg
+        .clone()
+        .with_deployment(DeploymentMode::PilReplay { cores })
+        .with_calc_io(CalcIo::Replay);
+    cfg.order_enforcement = true;
+    run_scenario_with_db(&cfg, Some(memo.db.clone()), Some(memo.order.clone())).0
+}
+
+/// The full SC+PIL pipeline: memoize once, replay once.
+pub fn scale_check(cfg: &ScenarioConfig, cores: usize) -> ScaleCheckResult {
+    let memo = memoize(cfg, cores);
+    let replay_report = replay(cfg, cores, &memo);
+    ScaleCheckResult {
+        memo,
+        replay: replay_report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ScenarioConfig {
+        // Small and fast: 10 nodes, one decommission, cubic calculator
+        // (cheap at this scale).
+        let mut cfg = ScenarioConfig::c3831(10, 7);
+        cfg.workload = scalecheck_cluster::Workload::Decommission {
+            count: 1,
+            gap: scalecheck_sim::SimDuration::from_secs(30),
+        };
+        cfg.workload_end = scalecheck_sim::SimDuration::from_secs(90);
+        cfg.max_duration = scalecheck_sim::SimDuration::from_secs(400);
+        cfg
+    }
+
+    #[test]
+    fn real_run_quiesces_without_flaps_at_small_scale() {
+        let r = run_real(&tiny());
+        assert!(r.quiesced, "run should settle");
+        assert_eq!(r.total_flaps, 0, "10-node decommission is healthy");
+        assert!(r.messages_delivered > 100, "gossip flowed");
+        assert!(r.calc.invocations > 0, "calculations happened");
+    }
+
+    #[test]
+    fn memoize_fills_db_and_order_log() {
+        let memo = memoize(&tiny(), COLO_CORES);
+        assert!(!memo.db.is_empty());
+        assert!(memo.order.total() > 0);
+        assert!(memo.report.calc.invocations > 0);
+    }
+
+    #[test]
+    fn replay_mostly_hits_the_db() {
+        let cfg = tiny();
+        let result = scale_check(&cfg, COLO_CORES);
+        let stats = result.replay.memo;
+        let rate = stats.replay_hit_rate();
+        assert!(
+            rate > 0.8,
+            "replay should be served from the DB (rate {rate}, stats {stats:?})"
+        );
+    }
+
+    #[test]
+    fn replay_matches_real_flaps_at_small_scale() {
+        let cfg = tiny();
+        let real = run_real(&cfg);
+        let result = scale_check(&cfg, COLO_CORES);
+        assert_eq!(
+            result.replay.total_flaps, real.total_flaps,
+            "healthy scale must stay healthy under SC+PIL"
+        );
+    }
+}

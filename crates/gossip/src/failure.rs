@@ -1,0 +1,213 @@
+//! Per-node failure detection and flap accounting.
+//!
+//! A **flap** (§2) is one node marking a live peer as down (and usually
+//! soon marking it up again). [`FailureDetector`] owns one
+//! [`PhiDetector`] per peer plus the node's local up/down verdicts, and
+//! counts alive→dead transitions — the y-axis of every panel in
+//! Figure 3.
+
+use std::collections::BTreeMap;
+
+use scalecheck_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::phi::PhiDetector;
+use crate::state::Peer;
+
+/// A peer's liveness verdict.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Liveness {
+    /// Considered up.
+    Alive,
+    /// Convicted as down.
+    Dead,
+}
+
+/// One node's failure-detection state over all its peers.
+#[derive(Clone, Debug)]
+pub struct FailureDetector {
+    threshold: f64,
+    gossip_interval: SimDuration,
+    detectors: BTreeMap<Peer, PhiDetector>,
+    verdicts: BTreeMap<Peer, Liveness>,
+    flaps: u64,
+    recoveries: u64,
+}
+
+impl FailureDetector {
+    /// Creates a detector with the given conviction threshold (Cassandra
+    /// default: 8.0) and expected heartbeat interval.
+    pub fn new(threshold: f64, gossip_interval: SimDuration) -> Self {
+        FailureDetector {
+            threshold,
+            gossip_interval,
+            detectors: BTreeMap::new(),
+            verdicts: BTreeMap::new(),
+            flaps: 0,
+            recoveries: 0,
+        }
+    }
+
+    /// Registers a heartbeat observation for `peer` at `now`. If the peer
+    /// was convicted, it is marked alive again (a recovery).
+    pub fn report(&mut self, peer: Peer, now: SimTime) {
+        let interval = self.gossip_interval;
+        self.detectors
+            .entry(peer)
+            .or_insert_with(|| PhiDetector::cassandra(interval))
+            .heartbeat(now);
+        let verdict = self.verdicts.entry(peer).or_insert(Liveness::Alive);
+        if *verdict == Liveness::Dead {
+            *verdict = Liveness::Alive;
+            self.recoveries += 1;
+        }
+    }
+
+    /// Evaluates every monitored peer at `now`; newly convicted peers are
+    /// returned and each conviction counts as one flap.
+    pub fn interpret_all(&mut self, now: SimTime) -> Vec<Peer> {
+        let mut newly_dead = Vec::new();
+        for (&peer, det) in &self.detectors {
+            let verdict = self.verdicts.entry(peer).or_insert(Liveness::Alive);
+            if *verdict == Liveness::Alive && det.phi(now) > self.threshold {
+                *verdict = Liveness::Dead;
+                self.flaps += 1;
+                newly_dead.push(peer);
+            }
+        }
+        newly_dead
+    }
+
+    /// Current verdict for `peer` (peers never reported are unknown).
+    pub fn liveness(&self, peer: Peer) -> Option<Liveness> {
+        self.verdicts.get(&peer).copied()
+    }
+
+    /// Peers currently considered dead.
+    pub fn dead_peers(&self) -> Vec<Peer> {
+        self.verdicts
+            .iter()
+            .filter(|(_, &v)| v == Liveness::Dead)
+            .map(|(&p, _)| p)
+            .collect()
+    }
+
+    /// Total alive→dead transitions this node has declared.
+    pub fn flaps(&self) -> u64 {
+        self.flaps
+    }
+
+    /// Total dead→alive transitions (recoveries).
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// The φ suspicion for `peer`, if monitored.
+    pub fn phi(&self, peer: Peer, now: SimTime) -> Option<f64> {
+        self.detectors.get(&peer).map(|d| d.phi(now))
+    }
+
+    /// Stops monitoring `peer` (it departed cleanly; silence is expected
+    /// and must not count as a flap).
+    pub fn forget(&mut self, peer: Peer) {
+        self.detectors.remove(&peer);
+        self.verdicts.remove(&peer);
+    }
+
+    /// Number of monitored peers.
+    pub fn monitored(&self) -> usize {
+        self.detectors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd() -> FailureDetector {
+        FailureDetector::new(8.0, SimDuration::from_secs(1))
+    }
+
+    fn secs(v: u64) -> SimTime {
+        SimTime::from_secs(v)
+    }
+
+    fn feed(fd: &mut FailureDetector, peer: Peer, from: u64, to: u64) {
+        for s in from..to {
+            fd.report(peer, secs(s));
+            fd.interpret_all(secs(s));
+        }
+    }
+
+    #[test]
+    fn steady_heartbeats_no_flaps() {
+        let mut f = fd();
+        feed(&mut f, Peer(1), 0, 60);
+        assert_eq!(f.flaps(), 0);
+        assert_eq!(f.liveness(Peer(1)), Some(Liveness::Alive));
+    }
+
+    #[test]
+    fn long_silence_convicts_once() {
+        let mut f = fd();
+        feed(&mut f, Peer(1), 0, 20);
+        // 30s of silence: well past the ~18.4s conviction point.
+        let newly = f.interpret_all(secs(50));
+        assert_eq!(newly, vec![Peer(1)]);
+        assert_eq!(f.flaps(), 1);
+        // Repeated interpretation does not double-count.
+        assert!(f.interpret_all(secs(60)).is_empty());
+        assert_eq!(f.flaps(), 1);
+        assert_eq!(f.dead_peers(), vec![Peer(1)]);
+    }
+
+    #[test]
+    fn recovery_then_reconviction_counts_two_flaps() {
+        let mut f = fd();
+        feed(&mut f, Peer(1), 0, 20);
+        f.interpret_all(secs(50));
+        assert_eq!(f.flaps(), 1);
+        // Peer comes back.
+        f.report(Peer(1), secs(50));
+        assert_eq!(f.recoveries(), 1);
+        assert_eq!(f.liveness(Peer(1)), Some(Liveness::Alive));
+        // Goes silent again. The detector's window now contains the huge
+        // 30s gap, so the mean is inflated; feed fresh beats to re-tighten.
+        feed(&mut f, Peer(1), 51, 70);
+        let newly = f.interpret_all(secs(120));
+        assert_eq!(newly, vec![Peer(1)]);
+        assert_eq!(f.flaps(), 2);
+    }
+
+    #[test]
+    fn multiple_peers_tracked_independently() {
+        let mut f = fd();
+        feed(&mut f, Peer(1), 0, 40);
+        feed(&mut f, Peer(2), 0, 20);
+        // Peer 2 silent from t=20; peer 1 healthy through t=40.
+        f.report(Peer(1), secs(45));
+        let newly = f.interpret_all(secs(45));
+        assert_eq!(newly, vec![Peer(2)]);
+        assert_eq!(f.liveness(Peer(1)), Some(Liveness::Alive));
+        assert_eq!(f.monitored(), 2);
+    }
+
+    #[test]
+    fn forget_prevents_false_flap_on_decommission() {
+        let mut f = fd();
+        feed(&mut f, Peer(1), 0, 20);
+        f.forget(Peer(1));
+        let newly = f.interpret_all(secs(100));
+        assert!(newly.is_empty());
+        assert_eq!(f.flaps(), 0);
+        assert_eq!(f.liveness(Peer(1)), None);
+    }
+
+    #[test]
+    fn phi_exposed_per_peer() {
+        let mut f = fd();
+        feed(&mut f, Peer(1), 0, 10);
+        assert!(f.phi(Peer(1), secs(12)).unwrap() > 0.0);
+        assert!(f.phi(Peer(9), secs(12)).is_none());
+    }
+}

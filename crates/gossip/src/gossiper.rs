@@ -1,0 +1,382 @@
+//! The anti-entropy gossiper: Cassandra's three-way digest exchange.
+//!
+//! Every round a node sends a `Syn` (digests of everything it knows) to a
+//! random live peer. The receiver answers with an `Ack` carrying deltas
+//! for peers where the receiver is fresher plus requests for peers where
+//! the sender is fresher; the original sender closes the loop with an
+//! `Ack2` of the requested deltas. Applying a delta reports whether the
+//! peer's heartbeat moved (feeds the failure detector) and whether its
+//! application state moved (triggers the pending-range calculation — the
+//! offending path of §2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::state::{Digest, EndpointMap, EndpointState, HeartbeatState, Peer};
+
+/// Gossip SYN: freshness claims for every peer the sender knows.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Syn {
+    /// One digest per known peer.
+    pub digests: Vec<Digest>,
+}
+
+/// Gossip ACK: deltas the receiver is fresher on, plus requests for
+/// peers the SYN sender is fresher on.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Ack<A> {
+    /// Full states the ACK sender believes are fresher.
+    pub deltas: Vec<(Peer, EndpointState<A>)>,
+    /// Watermarks the ACK sender wants newer data for.
+    pub requests: Vec<Digest>,
+}
+
+/// Gossip ACK2: the deltas answering an ACK's requests.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Ack2<A> {
+    /// Full states answering the requests.
+    pub deltas: Vec<(Peer, EndpointState<A>)>,
+}
+
+/// What changed when a delta batch was applied.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ApplyOutcome {
+    /// Peers whose heartbeat advanced (report to the failure detector).
+    pub heartbeat_advanced: Vec<Peer>,
+    /// Peers whose application state advanced (may carry topology
+    /// changes; triggers scale-dependent processing).
+    pub app_advanced: Vec<Peer>,
+}
+
+/// One node's gossip component.
+#[derive(Clone, Debug)]
+pub struct Gossiper<A> {
+    me: Peer,
+    version_clock: u64,
+    map: EndpointMap<A>,
+}
+
+impl<A: Clone + PartialEq> Gossiper<A> {
+    /// Creates a gossiper for `me`, with generation `generation` and
+    /// initial application state `app`.
+    pub fn new(me: Peer, generation: u64, app: A) -> Self {
+        let mut map = EndpointMap::new();
+        map.insert(
+            me,
+            EndpointState {
+                heartbeat: HeartbeatState {
+                    generation,
+                    version: 0,
+                },
+                app_version: 0,
+                app,
+            },
+        );
+        Gossiper {
+            me,
+            version_clock: 0,
+            map,
+        }
+    }
+
+    /// This node's id.
+    pub fn me(&self) -> Peer {
+        self.me
+    }
+
+    /// The full local view.
+    pub fn endpoints(&self) -> &EndpointMap<A> {
+        &self.map
+    }
+
+    /// The state this node knows for `peer`, if any.
+    pub fn endpoint(&self, peer: Peer) -> Option<&EndpointState<A>> {
+        self.map.get(&peer)
+    }
+
+    /// Peers other than `me` currently in the view.
+    pub fn known_peers(&self) -> Vec<Peer> {
+        self.map.keys().copied().filter(|&p| p != self.me).collect()
+    }
+
+    /// Seeds the view with a peer known out-of-band (e.g. the contact
+    /// list at bootstrap). No-op if already known.
+    pub fn seed_peer(&mut self, peer: Peer, state: EndpointState<A>) {
+        self.map.entry(peer).or_insert(state);
+    }
+
+    /// Bumps the local heartbeat version (called every gossip interval).
+    pub fn beat(&mut self) {
+        self.version_clock += 1;
+        let me = self.me;
+        let st = self.map.get_mut(&me).expect("own state always present");
+        st.heartbeat.version = self.version_clock;
+    }
+
+    /// Updates the local application state (e.g. "I am leaving with
+    /// tokens T"), bumping the shared version clock.
+    pub fn update_app(&mut self, app: A) {
+        self.version_clock += 1;
+        let me = self.me;
+        let st = self.map.get_mut(&me).expect("own state always present");
+        st.app = app;
+        st.app_version = self.version_clock;
+    }
+
+    /// The local application state.
+    pub fn my_app(&self) -> &A {
+        &self.map[&self.me].app
+    }
+
+    /// Builds a SYN covering everything this node knows.
+    pub fn make_syn(&self) -> Syn {
+        Syn {
+            digests: self
+                .map
+                .iter()
+                .map(|(&peer, st)| Digest {
+                    peer,
+                    generation: st.heartbeat.generation,
+                    max_version: st.max_version(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Handles a SYN, producing the ACK to send back.
+    pub fn handle_syn(&self, syn: &Syn) -> Ack<A> {
+        let mut deltas = Vec::new();
+        let mut requests = Vec::new();
+        for d in &syn.digests {
+            match self.map.get(&d.peer) {
+                Some(local) => {
+                    if local.newer_than(d.generation, d.max_version) {
+                        deltas.push((d.peer, local.clone()));
+                    } else if local.heartbeat.generation < d.generation
+                        || (local.heartbeat.generation == d.generation
+                            && local.max_version() < d.max_version)
+                    {
+                        requests.push(Digest {
+                            peer: d.peer,
+                            generation: local.heartbeat.generation,
+                            max_version: local.max_version(),
+                        });
+                    }
+                }
+                None => {
+                    // Never heard of this peer: ask for everything.
+                    requests.push(Digest {
+                        peer: d.peer,
+                        generation: 0,
+                        max_version: 0,
+                    });
+                }
+            }
+        }
+        // Peers only we know about: volunteer them.
+        for (&peer, st) in &self.map {
+            if !syn.digests.iter().any(|d| d.peer == peer) {
+                deltas.push((peer, st.clone()));
+            }
+        }
+        Ack { deltas, requests }
+    }
+
+    /// Handles an ACK: applies its deltas and answers its requests with
+    /// an ACK2.
+    pub fn handle_ack(&mut self, ack: &Ack<A>) -> (ApplyOutcome, Ack2<A>) {
+        let outcome = self.apply(&ack.deltas);
+        let mut deltas = Vec::new();
+        for req in &ack.requests {
+            if let Some(local) = self.map.get(&req.peer) {
+                if local.newer_than(req.generation, req.max_version) {
+                    deltas.push((req.peer, local.clone()));
+                }
+            }
+        }
+        (outcome, Ack2 { deltas })
+    }
+
+    /// Handles an ACK2: applies its deltas.
+    pub fn handle_ack2(&mut self, ack2: &Ack2<A>) -> ApplyOutcome {
+        self.apply(&ack2.deltas)
+    }
+
+    /// Applies a batch of remote states, keeping only fresher ones.
+    pub fn apply(&mut self, deltas: &[(Peer, EndpointState<A>)]) -> ApplyOutcome {
+        let mut out = ApplyOutcome::default();
+        for (peer, remote) in deltas {
+            if *peer == self.me {
+                // Nobody overrides our own state.
+                continue;
+            }
+            match self.map.get_mut(peer) {
+                Some(local) => {
+                    let local_gen = local.heartbeat.generation;
+                    let local_max = local.max_version();
+                    if remote.newer_than(local_gen, local_max) {
+                        if remote.heartbeat.generation > local_gen
+                            || remote.heartbeat.version > local.heartbeat.version
+                        {
+                            out.heartbeat_advanced.push(*peer);
+                        }
+                        if remote.heartbeat.generation > local_gen
+                            || remote.app_version > local.app_version
+                        {
+                            out.app_advanced.push(*peer);
+                        }
+                        *local = remote.clone();
+                    }
+                }
+                None => {
+                    out.heartbeat_advanced.push(*peer);
+                    out.app_advanced.push(*peer);
+                    self.map.insert(*peer, remote.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type G = Gossiper<u32>;
+
+    fn two() -> (G, G) {
+        let mut a = G::new(Peer(0), 1, 100);
+        let mut b = G::new(Peer(1), 1, 200);
+        a.beat();
+        b.beat();
+        (a, b)
+    }
+
+    /// One full SYN/ACK/ACK2 round from `a` to `b`.
+    fn round(a: &mut G, b: &mut G) -> (ApplyOutcome, ApplyOutcome) {
+        let syn = a.make_syn();
+        let ack = b.handle_syn(&syn);
+        let (out_a, ack2) = a.handle_ack(&ack);
+        let out_b = b.handle_ack2(&ack2);
+        (out_a, out_b)
+    }
+
+    #[test]
+    fn full_round_converges_two_nodes() {
+        let (mut a, mut b) = two();
+        let (out_a, out_b) = round(&mut a, &mut b);
+        // a learned about b and vice versa.
+        assert_eq!(out_a.heartbeat_advanced, vec![Peer(1)]);
+        assert_eq!(out_b.heartbeat_advanced, vec![Peer(0)]);
+        assert_eq!(a.endpoint(Peer(1)).unwrap().app, 200);
+        assert_eq!(b.endpoint(Peer(0)).unwrap().app, 100);
+    }
+
+    #[test]
+    fn repeated_round_is_quiescent() {
+        let (mut a, mut b) = two();
+        round(&mut a, &mut b);
+        let (out_a, out_b) = round(&mut a, &mut b);
+        assert!(out_a.heartbeat_advanced.is_empty());
+        assert!(out_a.app_advanced.is_empty());
+        assert!(out_b.heartbeat_advanced.is_empty());
+        assert!(out_b.app_advanced.is_empty());
+    }
+
+    #[test]
+    fn newer_heartbeat_propagates() {
+        let (mut a, mut b) = two();
+        round(&mut a, &mut b);
+        b.beat();
+        b.beat();
+        let hb_before = a.endpoint(Peer(1)).unwrap().heartbeat.version;
+        let (out_a, _) = round(&mut a, &mut b);
+        assert_eq!(out_a.heartbeat_advanced, vec![Peer(1)]);
+        assert!(a.endpoint(Peer(1)).unwrap().heartbeat.version > hb_before);
+        // Heartbeat-only advance must not be reported as app change.
+        assert!(out_a.app_advanced.is_empty());
+    }
+
+    #[test]
+    fn app_update_propagates_and_is_flagged() {
+        let (mut a, mut b) = two();
+        round(&mut a, &mut b);
+        b.update_app(999);
+        let (out_a, _) = round(&mut a, &mut b);
+        assert_eq!(out_a.app_advanced, vec![Peer(1)]);
+        assert_eq!(a.endpoint(Peer(1)).unwrap().app, 999);
+    }
+
+    #[test]
+    fn third_party_state_spreads_transitively() {
+        let mut a = G::new(Peer(0), 1, 0);
+        let mut b = G::new(Peer(1), 1, 1);
+        let mut c = G::new(Peer(2), 1, 2);
+        a.beat();
+        b.beat();
+        c.beat();
+        round(&mut a, &mut b); // a <-> b
+        round(&mut b, &mut c); // b <-> c, carries a's state to c
+        assert!(c.endpoint(Peer(0)).is_some(), "c learned of a via b");
+        assert_eq!(c.endpoint(Peer(0)).unwrap().app, 0);
+    }
+
+    #[test]
+    fn own_state_is_never_overridden() {
+        let (mut a, b) = two();
+        // b fabricates a bogus newer state for a.
+        let bogus = EndpointState {
+            heartbeat: HeartbeatState {
+                generation: 99,
+                version: 99,
+            },
+            app_version: 99,
+            app: 12345,
+        };
+        let out = a.apply(&[(Peer(0), bogus)]);
+        assert!(out.heartbeat_advanced.is_empty());
+        assert_eq!(*a.my_app(), 100);
+        let _ = b;
+    }
+
+    #[test]
+    fn higher_generation_replaces_state() {
+        let (mut a, mut b) = two();
+        round(&mut a, &mut b);
+        // b restarts: new generation, fresh versions.
+        let mut b2 = G::new(Peer(1), 2, 777);
+        b2.beat();
+        let (out_a, _) = round(&mut a, &mut b2);
+        assert_eq!(out_a.heartbeat_advanced, vec![Peer(1)]);
+        assert_eq!(out_a.app_advanced, vec![Peer(1)]);
+        assert_eq!(a.endpoint(Peer(1)).unwrap().heartbeat.generation, 2);
+        assert_eq!(a.endpoint(Peer(1)).unwrap().app, 777);
+    }
+
+    #[test]
+    fn seed_peer_does_not_clobber() {
+        let (mut a, b) = two();
+        let seed_state = b.endpoint(Peer(1)).unwrap().clone();
+        a.seed_peer(Peer(1), seed_state.clone());
+        assert_eq!(a.endpoint(Peer(1)).unwrap(), &seed_state);
+        // Seeding again with stale data is a no-op.
+        let stale = EndpointState {
+            heartbeat: HeartbeatState {
+                generation: 0,
+                version: 0,
+            },
+            app_version: 0,
+            app: 0,
+        };
+        a.seed_peer(Peer(1), stale);
+        assert_eq!(a.endpoint(Peer(1)).unwrap(), &seed_state);
+    }
+
+    #[test]
+    fn known_peers_excludes_self() {
+        let (mut a, mut b) = two();
+        round(&mut a, &mut b);
+        assert_eq!(a.known_peers(), vec![Peer(1)]);
+        assert_eq!(b.known_peers(), vec![Peer(0)]);
+    }
+}

@@ -1,0 +1,243 @@
+//! The φ accrual failure detector (Hayashibara et al., SRDS '04).
+//!
+//! Cassandra adopted the accrual detector for its scalability (§3 cites
+//! this directly), but the design's proof "did not account gossip
+//! processing time during bootstrap/cluster-rescale" — exactly the gap
+//! the paper's bugs fall into. We implement Cassandra's simplified
+//! exponential variant: with mean heartbeat inter-arrival `m`, the
+//! suspicion level after `t` of silence is
+//!
+//! ```text
+//! phi(t) = t / (m * ln 10)
+//! ```
+//!
+//! i.e. `phi = -log10(P(no heartbeat for t | exponential arrivals))`.
+//! A peer is convicted when `phi` exceeds a threshold (Cassandra default
+//! 8, ≈ 18.4 mean intervals of silence).
+
+use std::collections::VecDeque;
+
+use scalecheck_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Sliding-window arrival statistics and suspicion for one peer.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PhiDetector {
+    window: VecDeque<f64>,
+    window_cap: usize,
+    last_arrival: Option<SimTime>,
+    mean_floor_s: f64,
+    initial_mean_s: f64,
+    max_interval_s: f64,
+}
+
+impl PhiDetector {
+    /// Creates a detector.
+    ///
+    /// * `window_cap` — how many inter-arrival samples to keep
+    ///   (Cassandra keeps 1000).
+    /// * `initial_mean` — assumed inter-arrival before enough samples
+    ///   exist (use the gossip interval).
+    /// * `mean_floor` — lower clamp on the estimated mean, preventing a
+    ///   burst of rapid heartbeats from making the detector hair-trigger.
+    /// * `max_interval` — inter-arrival samples above this are discarded
+    ///   (Cassandra's `MAX_INTERVAL`): the detector must not *adapt* to
+    ///   starvation-induced slow arrivals, otherwise the very stalls it
+    ///   exists to detect would desensitize it.
+    pub fn new(
+        window_cap: usize,
+        initial_mean: SimDuration,
+        mean_floor: SimDuration,
+        max_interval: SimDuration,
+    ) -> Self {
+        PhiDetector {
+            window: VecDeque::with_capacity(window_cap.min(4096)),
+            window_cap: window_cap.max(1),
+            last_arrival: None,
+            mean_floor_s: mean_floor.as_secs_f64(),
+            initial_mean_s: initial_mean.as_secs_f64(),
+            max_interval_s: max_interval.as_secs_f64(),
+        }
+    }
+
+    /// A Cassandra-like default: window 1000, initial mean = gossip
+    /// interval, floor = half the interval, max accepted interval = 2x
+    /// the interval.
+    pub fn cassandra(gossip_interval: SimDuration) -> Self {
+        Self::new(
+            1000,
+            gossip_interval,
+            SimDuration::from_nanos(gossip_interval.as_nanos() / 2),
+            SimDuration::from_nanos(gossip_interval.as_nanos() * 2),
+        )
+    }
+
+    /// Records a heartbeat arrival at `now`.
+    pub fn heartbeat(&mut self, now: SimTime) {
+        if let Some(last) = self.last_arrival {
+            if now > last {
+                let interval = now.since(last).as_secs_f64();
+                // Cassandra drops outsize intervals instead of letting
+                // them inflate the mean.
+                if interval <= self.max_interval_s {
+                    if self.window.len() == self.window_cap {
+                        self.window.pop_front();
+                    }
+                    self.window.push_back(interval);
+                }
+            }
+        }
+        self.last_arrival = Some(self.last_arrival.map_or(now, |l| l.max(now)));
+    }
+
+    /// Estimated mean inter-arrival, clamped to the floor.
+    pub fn mean_interval(&self) -> f64 {
+        let mean = if self.window.is_empty() {
+            self.initial_mean_s
+        } else {
+            self.window.iter().sum::<f64>() / self.window.len() as f64
+        };
+        mean.max(self.mean_floor_s)
+    }
+
+    /// Current suspicion level. Zero until the first heartbeat arrives.
+    pub fn phi(&self, now: SimTime) -> f64 {
+        let Some(last) = self.last_arrival else {
+            return 0.0;
+        };
+        let t = now.since(last).as_secs_f64();
+        t / (self.mean_interval() * std::f64::consts::LN_10)
+    }
+
+    /// When the last heartbeat arrived.
+    pub fn last_arrival(&self) -> Option<SimTime> {
+        self.last_arrival
+    }
+
+    /// Number of inter-arrival samples currently held.
+    pub fn samples(&self) -> usize {
+        self.window.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det() -> PhiDetector {
+        PhiDetector::cassandra(SimDuration::from_secs(1))
+    }
+
+    fn secs(v: u64) -> SimTime {
+        SimTime::from_secs(v)
+    }
+
+    #[test]
+    fn silent_before_first_heartbeat() {
+        let d = det();
+        assert_eq!(d.phi(secs(100)), 0.0);
+        assert!(d.last_arrival().is_none());
+    }
+
+    #[test]
+    fn phi_grows_linearly_with_silence() {
+        let mut d = det();
+        for s in 0..10 {
+            d.heartbeat(secs(s));
+        }
+        let p1 = d.phi(secs(12));
+        let p2 = d.phi(secs(15));
+        assert!(p2 > p1);
+        // With 1s mean, phi(t) = t / ln10 ~ 0.434*t.
+        let expect = 3.0 / std::f64::consts::LN_10;
+        assert!((d.phi(secs(12)) - expect).abs() < 0.05, "phi {p1}");
+    }
+
+    #[test]
+    fn phi_resets_on_heartbeat() {
+        let mut d = det();
+        for s in 0..10 {
+            d.heartbeat(secs(s));
+        }
+        let suspicious = d.phi(secs(30));
+        assert!(suspicious > 8.0);
+        d.heartbeat(secs(30));
+        assert!(d.phi(secs(30)) < 0.01);
+    }
+
+    #[test]
+    fn threshold_8_means_about_18_intervals() {
+        // phi = 8 at t = 8 * ln10 * mean ~ 18.4 mean intervals.
+        let mut d = det();
+        for s in 0..20 {
+            d.heartbeat(secs(s));
+        }
+        let last = 19.0;
+        let t_convict = 8.0 * std::f64::consts::LN_10; // seconds with mean 1s
+        let just_before = from_secs_f64(last + t_convict - 0.2);
+        let just_after = from_secs_f64(last + t_convict + 0.2);
+        assert!(d.phi(just_before) < 8.0);
+        assert!(d.phi(just_after) > 8.0);
+    }
+
+    #[test]
+    fn faster_heartbeats_make_detector_more_sensitive() {
+        let mut slow = det();
+        let mut fast = det();
+        for i in 0..20u64 {
+            slow.heartbeat(SimTime::from_secs(i * 2));
+            fast.heartbeat(SimTime::from_secs(i));
+        }
+        // Same absolute silence from each detector's own last arrival.
+        let silence = SimDuration::from_secs(10);
+        let p_slow = slow.phi(SimTime::from_secs(38) + silence);
+        let p_fast = fast.phi(SimTime::from_secs(19) + silence);
+        assert!(
+            p_fast > p_slow,
+            "fast ({p_fast}) should suspect sooner than slow ({p_slow})"
+        );
+    }
+
+    #[test]
+    fn mean_floor_prevents_hair_trigger() {
+        let mut d = PhiDetector::new(
+            100,
+            SimDuration::from_secs(1),
+            SimDuration::from_millis(500),
+            SimDuration::from_secs(2),
+        );
+        // Burst of heartbeats 1ms apart would estimate a 1ms mean; the
+        // floor keeps it at 500ms.
+        for i in 0..50u64 {
+            d.heartbeat(SimTime::from_millis(i));
+        }
+        assert!((d.mean_interval() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_is_bounded() {
+        let mut d = PhiDetector::new(
+            8,
+            SimDuration::from_secs(1),
+            SimDuration::from_millis(1),
+            SimDuration::from_secs(2),
+        );
+        for s in 0..100 {
+            d.heartbeat(secs(s));
+        }
+        assert_eq!(d.samples(), 8);
+    }
+
+    #[test]
+    fn out_of_order_heartbeat_is_harmless() {
+        let mut d = det();
+        d.heartbeat(secs(10));
+        d.heartbeat(secs(5)); // Late-arriving old beat.
+        assert_eq!(d.last_arrival(), Some(secs(10)));
+    }
+
+    // Test-only helper: fractional-second construction.
+    fn from_secs_f64(s: f64) -> SimTime {
+        SimTime::from_nanos((s * 1e9) as u64)
+    }
+}

@@ -1,0 +1,108 @@
+//! Gossip endpoint state: heartbeats, versions, and per-peer state maps.
+//!
+//! Mirrors Cassandra's model: each node owns a monotone *generation*
+//! (bumped on restart) and a *version clock* shared by its heartbeat and
+//! its application state. Peers compare `(generation, max_version)` pairs
+//! to decide who has fresher information.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a gossip participant.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct Peer(pub u32);
+
+impl std::fmt::Display for Peer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A node's liveness beacon.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct HeartbeatState {
+    /// Incarnation number (bumped when the node restarts).
+    pub generation: u64,
+    /// Monotone version within the generation.
+    pub version: u64,
+}
+
+/// Everything one node knows about one peer.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct EndpointState<A> {
+    /// Liveness beacon.
+    pub heartbeat: HeartbeatState,
+    /// Version at which `app` last changed.
+    pub app_version: u64,
+    /// Application payload (ring status, tokens, ... — opaque to gossip).
+    pub app: A,
+}
+
+impl<A> EndpointState<A> {
+    /// The freshness watermark peers compare: the larger of the heartbeat
+    /// and application versions.
+    pub fn max_version(&self) -> u64 {
+        self.heartbeat.version.max(self.app_version)
+    }
+
+    /// Whether this state is strictly fresher than a `(generation,
+    /// max_version)` watermark.
+    pub fn newer_than(&self, generation: u64, max_version: u64) -> bool {
+        self.heartbeat.generation > generation
+            || (self.heartbeat.generation == generation && self.max_version() > max_version)
+    }
+}
+
+/// A compact claim about a peer's freshness, exchanged in gossip SYNs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Digest {
+    /// The peer the claim is about.
+    pub peer: Peer,
+    /// Claimed generation.
+    pub generation: u64,
+    /// Claimed max version.
+    pub max_version: u64,
+}
+
+/// A node's full gossip view: one [`EndpointState`] per known peer.
+pub type EndpointMap<A> = BTreeMap<Peer, EndpointState<A>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn st(gen: u64, hb: u64, appv: u64) -> EndpointState<u8> {
+        EndpointState {
+            heartbeat: HeartbeatState {
+                generation: gen,
+                version: hb,
+            },
+            app_version: appv,
+            app: 0,
+        }
+    }
+
+    #[test]
+    fn max_version_takes_larger() {
+        assert_eq!(st(1, 5, 3).max_version(), 5);
+        assert_eq!(st(1, 2, 9).max_version(), 9);
+    }
+
+    #[test]
+    fn newer_generation_wins() {
+        let s = st(2, 1, 1);
+        assert!(s.newer_than(1, 100));
+        assert!(!s.newer_than(3, 0));
+    }
+
+    #[test]
+    fn same_generation_compares_versions() {
+        let s = st(1, 5, 7);
+        assert!(s.newer_than(1, 6));
+        assert!(!s.newer_than(1, 7));
+        assert!(!s.newer_than(1, 8));
+    }
+}

@@ -1,0 +1,461 @@
+//! The HDFS-like cluster driver: N datanodes heartbeating and
+//! block-reporting to one serialized master.
+//!
+//! The bug (FullRescan) makes each report cost O(total blocks) on the
+//! master's single handler stage — the global namesystem lock.
+//! Heartbeats queue behind reports; past a scale threshold the queue
+//! delay crosses the liveness timeout and the master declares *live*
+//! datanodes dead (the flap analog for this system). This is the §4
+//! footnote's second root-cause class (serialized O(N) operations) and
+//! the paper's §7 goal of integrating scale check with systems beyond
+//! Cassandra.
+//!
+//! The same three pipelines apply: execute (Real/Colo), record
+//! (memoize), and PIL replay (report processing replaced by
+//! `sleep(recorded duration)` with the recorded output — the block-map
+//! size — copied from the database and verified at the end).
+
+use scalecheck_memo::{Digest128, FnId, Hasher128, MemoDb, MemoStats};
+use scalecheck_net::{LatencyModel, Network, NetworkConfig};
+use scalecheck_sim::{
+    Ctx, CtxSwitchModel, Engine, Machine, MachinePark, SimDuration, SimTime, Stage,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::master::{blocks_of, DnId, Master, MasterOps, ReportVersion};
+
+/// Memo function id for block-report processing.
+pub const REPORT_FN: FnId = FnId(10);
+
+/// Deployment semantics, mirroring the Cassandra substrate's.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum HdfsDeployment {
+    /// Master and every datanode on dedicated machines.
+    Real,
+    /// Everything on one shared machine.
+    Colo {
+        /// Cores on the shared machine.
+        cores: usize,
+    },
+    /// Shared machine, report processing PIL-replaced.
+    PilReplay {
+        /// Cores on the shared machine.
+        cores: usize,
+    },
+}
+
+/// Memoization interaction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum HdfsCalcIo {
+    /// Execute report processing for real.
+    Execute,
+    /// Execute and record (input digest → duration, block count).
+    Record,
+    /// Replay from the database.
+    Replay,
+}
+
+/// Scenario configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HdfsConfig {
+    /// Number of datanodes.
+    pub n_datanodes: usize,
+    /// Blocks per datanode.
+    pub blocks_per_node: usize,
+    /// Heartbeat interval (HDFS default 3 s).
+    pub heartbeat_interval: SimDuration,
+    /// Full block report interval (scaled down from HDFS's hours).
+    pub report_interval: SimDuration,
+    /// Master declares a datanode dead after this much silence.
+    pub heartbeat_timeout: SimDuration,
+    /// Report-processing implementation.
+    pub version: ReportVersion,
+    /// Deployment semantics.
+    pub deployment: HdfsDeployment,
+    /// Memoization interaction.
+    pub calc_io: HdfsCalcIo,
+    /// Virtual nanoseconds per counted master operation.
+    pub ns_per_op: u64,
+    /// Capacity of the master's RPC call queue; arrivals beyond it are
+    /// rejected (HDFS's bounded call queue). Overflow is what turns a
+    /// saturated master into *silence*: dropped heartbeats.
+    pub queue_capacity: usize,
+    /// Run length.
+    pub duration: SimDuration,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl HdfsConfig {
+    /// The HDFS-like bug scenario at `n` datanodes.
+    pub fn bug(n: usize, seed: u64) -> Self {
+        HdfsConfig {
+            n_datanodes: n,
+            blocks_per_node: 20_000,
+            heartbeat_interval: SimDuration::from_secs(3),
+            report_interval: SimDuration::from_secs(120),
+            heartbeat_timeout: SimDuration::from_secs(60),
+            version: ReportVersion::FullRescan,
+            deployment: HdfsDeployment::Real,
+            calc_io: HdfsCalcIo::Execute,
+            ns_per_op: 8000,
+            queue_capacity: 20,
+            duration: SimDuration::from_secs(600),
+            seed,
+        }
+    }
+
+    /// Same scenario with the incremental-diff fix.
+    pub fn fixed(n: usize, seed: u64) -> Self {
+        let mut cfg = Self::bug(n, seed);
+        cfg.version = ReportVersion::IncrementalDiff;
+        cfg
+    }
+}
+
+/// Run results.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HdfsReport {
+    /// Live datanodes declared dead (the flap analog).
+    pub false_dead: u64,
+    /// Dead→alive recoveries.
+    pub recoveries: u64,
+    /// Reports processed by the master.
+    pub reports_processed: u64,
+    /// Heartbeats processed by the master.
+    pub heartbeats_processed: u64,
+    /// Worst queueing delay a master task experienced.
+    pub max_master_lateness: SimDuration,
+    /// RPCs rejected by the full call queue (dropped heartbeats and
+    /// reports).
+    pub dropped_rpcs: u64,
+    /// Blocks tracked at run end (replay verification input).
+    pub final_block_count: usize,
+    /// Replay verification: recorded vs replayed block counts diverged.
+    pub output_mismatches: u64,
+    /// Memo statistics.
+    pub memo: MemoStats,
+    /// Run duration (== configured duration).
+    pub duration: SimDuration,
+}
+
+enum MTask {
+    Report(DnId, u64),
+}
+
+struct HdfsState {
+    cfg: HdfsConfig,
+    master: Master,
+    stage: Stage<MTask>,
+    park: MachinePark,
+    master_machine: scalecheck_sim::cpu::MachineId,
+    net: Network,
+    db: MemoDb<u64>,
+    report_seq: Vec<u64>,
+    lock_held_until: SimTime,
+    reports_processed: u64,
+    heartbeats_processed: u64,
+    dropped_rpcs: u64,
+    output_mismatches: u64,
+}
+
+fn report_digest(dn: DnId, seq: u64, version: ReportVersion, blocks_per_node: usize) -> Digest128 {
+    let mut h = Hasher128::new();
+    h.update_u64(dn.0 as u64)
+        .update_u64(seq)
+        .update_u64(match version {
+            ReportVersion::FullRescan => 0,
+            ReportVersion::IncrementalDiff => 1,
+        })
+        .update_u64(blocks_per_node as u64);
+    h.finish()
+}
+
+fn pump(st: &mut HdfsState, ctx: &mut Ctx<'_, HdfsState>) {
+    let now = ctx.now();
+    let Some(task) = st.stage.try_begin(now) else {
+        return;
+    };
+    let pil = matches!(st.cfg.deployment, HdfsDeployment::PilReplay { .. });
+    match task {
+        MTask::Report(dn, seq) => {
+            let digest = report_digest(dn, seq, st.cfg.version, st.cfg.blocks_per_node);
+            // Decide duration and whether to execute.
+            let (duration, executed_count) = match st.cfg.calc_io {
+                HdfsCalcIo::Replay => match st.db.lookup(REPORT_FN, digest) {
+                    Some(rec) => (rec.duration, Some(rec.output)),
+                    None => {
+                        st.db.note_miss();
+                        let (d, c) = execute_report(st, dn);
+                        (d, Some(c))
+                    }
+                },
+                HdfsCalcIo::Execute | HdfsCalcIo::Record => {
+                    let (d, c) = execute_report(st, dn);
+                    if st.cfg.calc_io == HdfsCalcIo::Record {
+                        st.db.record(dn.0, REPORT_FN, digest, c, d);
+                    }
+                    (d, Some(c))
+                }
+            };
+            let _ = executed_count;
+            let finish = if pil {
+                now + duration
+            } else {
+                st.park
+                    .get_mut(st.master_machine)
+                    .submit(now, duration)
+                    .finish
+            };
+            st.lock_held_until = finish;
+            ctx.schedule_at(finish, move |st: &mut HdfsState, ctx| {
+                st.reports_processed += 1;
+                st.stage.finish();
+                pump(st, ctx);
+            });
+        }
+    }
+}
+
+/// Executes report processing for real, returning its virtual duration
+/// and the resulting block count.
+fn execute_report(st: &mut HdfsState, dn: DnId) -> (SimDuration, u64) {
+    let blocks = blocks_of(dn, st.cfg.blocks_per_node);
+    let mut ops = MasterOps::new();
+    st.master.process_block_report(dn, &blocks, &mut ops);
+    (
+        SimDuration::from_nanos(ops.ops().saturating_mul(st.cfg.ns_per_op)),
+        st.master.block_count() as u64,
+    )
+}
+
+fn dn_heartbeat(st: &mut HdfsState, ctx: &mut Ctx<'_, HdfsState>, i: usize) {
+    let dn = DnId(i as u32);
+    let now = ctx.now();
+    if let Ok((_, at)) = st.net.send(
+        now,
+        ctx.rng(),
+        scalecheck_net::Addr(1 + i as u32),
+        scalecheck_net::Addr(0),
+    ) {
+        ctx.schedule_at(at, move |st: &mut HdfsState, ctx| {
+            // The heartbeat needs the namesystem lock: it processes
+            // once the in-flight block report (if any) releases it.
+            let ready = ctx.now().max(st.lock_held_until);
+            ctx.schedule_at(ready, move |st: &mut HdfsState, ctx| {
+                let mut ops = MasterOps::new();
+                st.master.process_heartbeat(dn, ctx.now(), &mut ops);
+                st.heartbeats_processed += 1;
+            });
+        });
+    }
+    let interval = st.cfg.heartbeat_interval;
+    ctx.schedule_after(interval, move |st, ctx| dn_heartbeat(st, ctx, i));
+}
+
+fn dn_report(st: &mut HdfsState, ctx: &mut Ctx<'_, HdfsState>, i: usize) {
+    let dn = DnId(i as u32);
+    let seq = st.report_seq[i];
+    st.report_seq[i] += 1;
+    let now = ctx.now();
+    if let Ok((_, at)) = st.net.send(
+        now,
+        ctx.rng(),
+        scalecheck_net::Addr(1 + i as u32),
+        scalecheck_net::Addr(0),
+    ) {
+        ctx.schedule_at(at, move |st: &mut HdfsState, ctx| {
+            if st.stage.depth() >= st.cfg.queue_capacity {
+                st.dropped_rpcs += 1;
+                return;
+            }
+            st.stage.push(ctx.now(), MTask::Report(dn, seq));
+            pump(st, ctx);
+        });
+    }
+    let interval = st.cfg.report_interval;
+    ctx.schedule_after(interval, move |st, ctx| dn_report(st, ctx, i));
+}
+
+fn liveness_sweep(st: &mut HdfsState, ctx: &mut Ctx<'_, HdfsState>) {
+    st.master.check_liveness(ctx.now());
+    ctx.schedule_after(SimDuration::from_secs(5), liveness_sweep);
+}
+
+/// Runs a scenario, optionally against a previously recorded database.
+/// Returns the report and the database (populated in `Record` mode).
+pub fn run_hdfs_with_db(cfg: &HdfsConfig, db: Option<MemoDb<u64>>) -> (HdfsReport, MemoDb<u64>) {
+    let mut park = MachinePark::new();
+    let master_machine = match cfg.deployment {
+        HdfsDeployment::Real => {
+            let m = park.add(Machine::new(2, CtxSwitchModel::commodity()));
+            for _ in 0..cfg.n_datanodes {
+                park.add(Machine::new(1, CtxSwitchModel::commodity()));
+            }
+            m
+        }
+        HdfsDeployment::Colo { cores } | HdfsDeployment::PilReplay { cores } => {
+            park.add(Machine::new(cores.max(1), CtxSwitchModel::commodity()))
+        }
+    };
+    let mut master = Master::new(cfg.version, cfg.heartbeat_timeout);
+    for i in 0..cfg.n_datanodes {
+        let dn = DnId(i as u32);
+        master.register(dn, SimTime::ZERO);
+        // The cluster was running before the experiment: the block map
+        // is fully built (safe mode completed long ago).
+        master.preload(dn, &blocks_of(dn, cfg.blocks_per_node));
+    }
+    let mut state = HdfsState {
+        cfg: cfg.clone(),
+        master,
+        stage: Stage::new(),
+        park,
+        master_machine,
+        net: Network::new(NetworkConfig {
+            latency: LatencyModel::lan(),
+            drop_probability: 0.0,
+        }),
+        db: db.unwrap_or_default(),
+        report_seq: vec![0; cfg.n_datanodes],
+        lock_held_until: SimTime::ZERO,
+        reports_processed: 0,
+        heartbeats_processed: 0,
+        dropped_rpcs: 0,
+        output_mismatches: 0,
+    };
+
+    let mut engine: Engine<HdfsState> = Engine::new(cfg.seed);
+    for i in 0..cfg.n_datanodes {
+        let hb_stagger = SimDuration::from_nanos(
+            cfg.heartbeat_interval.as_nanos() * (i as u64) / cfg.n_datanodes.max(1) as u64,
+        );
+        // Block reports align in storms (the restart/upgrade pattern of
+        // real HDFS incidents): every node reports at the same period
+        // boundary, with only a small per-node jitter.
+        let rp_stagger = cfg.report_interval + SimDuration::from_millis(20 * i as u64);
+        engine.schedule_at(
+            SimTime::ZERO + hb_stagger,
+            move |st: &mut HdfsState, ctx| dn_heartbeat(st, ctx, i),
+        );
+        engine.schedule_at(
+            SimTime::ZERO + rp_stagger,
+            move |st: &mut HdfsState, ctx| dn_report(st, ctx, i),
+        );
+    }
+    engine.schedule_at(SimTime::from_secs(5), liveness_sweep);
+    engine.run_until(&mut state, SimTime::ZERO + cfg.duration);
+
+    let report = HdfsReport {
+        false_dead: state.master.false_dead(),
+        recoveries: state.master.recoveries(),
+        reports_processed: state.reports_processed,
+        heartbeats_processed: state.heartbeats_processed,
+        max_master_lateness: state.stage.lateness().max(),
+        dropped_rpcs: state.dropped_rpcs,
+        final_block_count: state.master.block_count(),
+        output_mismatches: state.output_mismatches,
+        memo: state.db.stats(),
+        duration: cfg.duration,
+    };
+    (report, state.db)
+}
+
+/// Runs a scenario with no database carried across runs.
+pub fn run_hdfs(cfg: &HdfsConfig) -> HdfsReport {
+    run_hdfs_with_db(cfg, None).0
+}
+
+/// The full scale-check pipeline for the HDFS-like target: memoize on
+/// the shared box, then PIL-replay. Returns `(memoize, replay)`.
+pub fn hdfs_scale_check(cfg: &HdfsConfig, cores: usize) -> (HdfsReport, HdfsReport) {
+    let mut rec_cfg = cfg.clone();
+    rec_cfg.deployment = HdfsDeployment::Colo { cores };
+    rec_cfg.calc_io = HdfsCalcIo::Record;
+    let (rec_report, db) = run_hdfs_with_db(&rec_cfg, None);
+
+    let mut rep_cfg = cfg.clone();
+    rep_cfg.deployment = HdfsDeployment::PilReplay { cores };
+    rep_cfg.calc_io = HdfsCalcIo::Replay;
+    let (mut rep_report, db) = run_hdfs_with_db(&rep_cfg, Some(db));
+
+    // Output verification (the PIL contract): the replay's copied
+    // outputs must reach the same final block count the memoization run
+    // computed for real.
+    let replayed_final = db
+        .iter_records()
+        .map(|(_, _, rec)| rec.output)
+        .max()
+        .unwrap_or(0);
+    if replayed_final != rec_report.final_block_count as u64 {
+        rep_report.output_mismatches += 1;
+    }
+    rep_report.final_block_count = replayed_final as usize;
+    (rec_report, rep_report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_cluster_is_healthy() {
+        let r = run_hdfs(&HdfsConfig::bug(16, 1));
+        assert_eq!(r.false_dead, 0, "16 datanodes must not saturate the master");
+        assert!(r.reports_processed > 16 * 3, "reports flowed");
+        assert!(r.heartbeats_processed > 1000, "heartbeats flowed");
+        assert!(r.final_block_count >= 16 * 1000);
+    }
+
+    #[test]
+    fn bug_manifests_at_scale_and_fix_removes_it() {
+        // 192 datanodes: one full-rescan report holds the namesystem
+        // lock past the heartbeat timeout; the incremental-diff master
+        // shrugs. At 128 the hold is still under the timeout.
+        let buggy = run_hdfs(&HdfsConfig::bug(192, 1));
+        assert!(
+            buggy.false_dead > 100,
+            "live datanodes must be declared dead: {}",
+            buggy.false_dead
+        );
+        assert!(buggy.recoveries > 0, "they come back: flapping");
+        let small = run_hdfs(&HdfsConfig::bug(128, 1));
+        assert_eq!(
+            small.false_dead, 0,
+            "no symptom at 128 — the onset is sharp"
+        );
+        let fixed = run_hdfs(&HdfsConfig::fixed(192, 1));
+        assert_eq!(fixed.false_dead, 0, "the fix removes the symptom");
+    }
+
+    #[test]
+    fn scale_check_reproduces_the_bug_cheaply() {
+        let cfg = HdfsConfig::bug(256, 1);
+        let real = run_hdfs(&cfg);
+        let (memoized, replayed) = hdfs_scale_check(&cfg, 16);
+        assert!(memoized.memo.recorded > 0);
+        // Replay admission (hence report seq numbers) legitimately
+        // differs from the memoization run's: drops depend on queue
+        // state, which the Colo run distorts. Misses re-execute
+        // honestly.
+        assert!(replayed.memo.replay_hit_rate() > 0.6, "{:?}", replayed.memo);
+        assert!(replayed.false_dead > 200, "symptom reproduced in replay");
+        let ratio = replayed.false_dead as f64 / real.false_dead.max(1) as f64;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "replay {} vs real {}",
+            replayed.false_dead,
+            real.false_dead
+        );
+        assert_eq!(replayed.output_mismatches, 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run_hdfs(&HdfsConfig::bug(64, 9));
+        let b = run_hdfs(&HdfsConfig::bug(64, 9));
+        assert_eq!(a.false_dead, b.false_dead);
+        assert_eq!(a.reports_processed, b.reports_processed);
+        assert_eq!(a.heartbeats_processed, b.heartbeats_processed);
+    }
+}

@@ -1,0 +1,81 @@
+//! The §5 state-space argument, made quantitative.
+//!
+//! "In a ring rebalancing algorithm for example, with N nodes and P
+//! partitions/node, there are (N^NP)^2 input/output pairs given all
+//! possible orderings." Offline input sampling would therefore need
+//! effectively infinite time and storage; recording *one* observed run
+//! plus order determinism caps the space at the run's actual length.
+//!
+//! The numbers overflow anything fixed-width almost immediately, so the
+//! functions here work in log10 space.
+
+/// log10 of the §5 ordering-space size `(N^(N*P))^2 = N^(2*N*P)`.
+///
+/// Returns 0 for `n <= 1` (a single node has one ordering).
+pub fn log10_ordering_space(n: u64, p: u64) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    2.0 * (n * p) as f64 * (n as f64).log10()
+}
+
+/// Decimal digit count of the ordering-space size (how many digits the
+/// number would take to write down).
+pub fn ordering_space_digits(n: u64, p: u64) -> u64 {
+    log10_ordering_space(n, p).floor() as u64 + 1
+}
+
+/// log10 of the number of records a single observed run stores
+/// (`records` input/output pairs). Zero records → 0.
+pub fn log10_recorded_space(records: u64) -> f64 {
+    if records == 0 {
+        0.0
+    } else {
+        (records as f64).log10()
+    }
+}
+
+/// Orders of magnitude saved by recording one run instead of sampling
+/// the full ordering space.
+pub fn savings_orders_of_magnitude(n: u64, p: u64, records: u64) -> f64 {
+    (log10_ordering_space(n, p) - log10_recorded_space(records)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_cases() {
+        assert_eq!(log10_ordering_space(0, 256), 0.0);
+        assert_eq!(log10_ordering_space(1, 256), 0.0);
+        assert_eq!(log10_recorded_space(0), 0.0);
+    }
+
+    #[test]
+    fn known_small_value() {
+        // N=10, P=1: (10^10)^2 = 10^20.
+        assert!((log10_ordering_space(10, 1) - 20.0).abs() < 1e-9);
+        assert_eq!(ordering_space_digits(10, 1), 21);
+    }
+
+    #[test]
+    fn paper_scale_is_astronomical() {
+        // N=256, P=256: digits in the hundreds of thousands.
+        let digits = ordering_space_digits(256, 256);
+        assert!(digits > 300_000, "digits {digits}");
+    }
+
+    #[test]
+    fn savings_dominated_by_space_size() {
+        let s = savings_orders_of_magnitude(256, 256, 1_000_000);
+        let full = log10_ordering_space(256, 256);
+        assert!(s > full - 7.0);
+        assert!(s < full);
+    }
+
+    #[test]
+    fn savings_never_negative() {
+        assert_eq!(savings_orders_of_magnitude(1, 1, 1_000_000), 0.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Simulated network substrate for the ScaleCheck reproduction.
+//!
+//! Provides the message fabric the cluster gossips over: latency
+//! distributions ([`LatencyModel`]), per-link FIFO delivery, drop and
+//! partition fault injection, and a delivery trace that the memoizer
+//! records to enforce order determinism during PIL replay ([`Network`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use scalecheck_net::{Addr, LatencyModel, Network, NetworkConfig};
+//! use scalecheck_sim::{DetRng, SimDuration, SimTime};
+//!
+//! let mut net = Network::new(NetworkConfig {
+//!     latency: LatencyModel::Constant(SimDuration::from_millis(1)),
+//!     drop_probability: 0.0,
+//! });
+//! let mut rng = DetRng::new(42);
+//! let (_id, deliver_at) = net.send(SimTime::ZERO, &mut rng, Addr(0), Addr(1)).unwrap();
+//! assert_eq!(deliver_at, SimTime::from_millis(1));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod latency;
+pub mod network;
+
+pub use latency::LatencyModel;
+pub use network::{Addr, DeliveryRecord, DropReason, MessageId, Network, NetworkConfig};

@@ -1,0 +1,310 @@
+//! The simulated message fabric.
+//!
+//! [`Network`] decides, per message, whether it is dropped (fault
+//! injection or partition) and when it arrives (latency model plus
+//! per-link FIFO ordering). It is pure data: the caller passes the
+//! current time and RNG and schedules the delivery event itself, which
+//! keeps the network engine-agnostic and unit-testable.
+//!
+//! Every accepted message is appended to a delivery trace; the trace is
+//! what the memoizer records to enforce the paper's *order determinism*
+//! during PIL replay (§5).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use scalecheck_sim::{Counter, DetRng, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::latency::LatencyModel;
+
+/// A network endpoint (one simulated node).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct Addr(pub u32);
+
+impl std::fmt::Display for Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// Globally unique id of an accepted message.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct MessageId(pub u64);
+
+/// One accepted message in the delivery trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeliveryRecord {
+    /// Message id (monotone in send order).
+    pub id: MessageId,
+    /// Sender.
+    pub src: Addr,
+    /// Receiver.
+    pub dst: Addr,
+    /// When it was sent.
+    pub sent_at: SimTime,
+    /// When it arrives.
+    pub deliver_at: SimTime,
+}
+
+/// Why a message was not accepted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// Random loss from the configured drop probability.
+    RandomLoss,
+    /// The (src, dst) pair is partitioned.
+    Partitioned,
+}
+
+/// Network configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// One-way latency distribution.
+    pub latency: LatencyModel,
+    /// Probability that any message is silently dropped.
+    pub drop_probability: f64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            latency: LatencyModel::lan(),
+            drop_probability: 0.0,
+        }
+    }
+}
+
+/// The simulated network fabric.
+#[derive(Clone, Debug)]
+pub struct Network {
+    config: NetworkConfig,
+    next_id: u64,
+    // Per-link clock enforcing FIFO delivery on each (src, dst) pair.
+    link_clock: BTreeMap<(Addr, Addr), SimTime>,
+    partitions: BTreeSet<(Addr, Addr)>,
+    trace: Vec<DeliveryRecord>,
+    record_trace: bool,
+    sent: Counter,
+    dropped: Counter,
+}
+
+impl Network {
+    /// Creates a network with the given configuration.
+    pub fn new(config: NetworkConfig) -> Self {
+        Network {
+            config,
+            next_id: 0,
+            link_clock: BTreeMap::new(),
+            partitions: BTreeSet::new(),
+            trace: Vec::new(),
+            record_trace: false,
+            sent: Counter::new(),
+            dropped: Counter::new(),
+        }
+    }
+
+    /// Enables or disables delivery-trace recording (used by the
+    /// memoization run; replays do not need to re-record).
+    pub fn set_record_trace(&mut self, on: bool) {
+        self.record_trace = on;
+    }
+
+    /// Offers a message to the fabric. On acceptance returns its id and
+    /// delivery time (the caller schedules the delivery event); on drop
+    /// returns the reason.
+    pub fn send(
+        &mut self,
+        now: SimTime,
+        rng: &mut DetRng,
+        src: Addr,
+        dst: Addr,
+    ) -> Result<(MessageId, SimTime), DropReason> {
+        self.sent.inc();
+        if self.is_partitioned(src, dst) {
+            self.dropped.inc();
+            return Err(DropReason::Partitioned);
+        }
+        if self.config.drop_probability > 0.0 && rng.gen_bool(self.config.drop_probability) {
+            self.dropped.inc();
+            return Err(DropReason::RandomLoss);
+        }
+        let latency = self.config.latency.sample(rng);
+        let mut deliver_at = now + latency;
+        // FIFO per link: never deliver before an earlier message on the
+        // same (src, dst) pair.
+        let clock = self.link_clock.entry((src, dst)).or_insert(SimTime::ZERO);
+        if deliver_at <= *clock {
+            deliver_at = *clock + SimDuration::from_nanos(1);
+        }
+        *clock = deliver_at;
+
+        let id = MessageId(self.next_id);
+        self.next_id += 1;
+        if self.record_trace {
+            self.trace.push(DeliveryRecord {
+                id,
+                src,
+                dst,
+                sent_at: now,
+                deliver_at,
+            });
+        }
+        Ok((id, deliver_at))
+    }
+
+    /// Cuts connectivity between `a` and `b` (both directions).
+    pub fn partition(&mut self, a: Addr, b: Addr) {
+        self.partitions.insert((a, b));
+        self.partitions.insert((b, a));
+    }
+
+    /// Restores connectivity between `a` and `b`.
+    pub fn heal(&mut self, a: Addr, b: Addr) {
+        self.partitions.remove(&(a, b));
+        self.partitions.remove(&(b, a));
+    }
+
+    /// Whether messages from `src` to `dst` are currently blocked.
+    pub fn is_partitioned(&self, src: Addr, dst: Addr) -> bool {
+        self.partitions.contains(&(src, dst))
+    }
+
+    /// The recorded delivery trace.
+    pub fn trace(&self) -> &[DeliveryRecord] {
+        &self.trace
+    }
+
+    /// Takes ownership of the recorded trace, clearing it.
+    pub fn take_trace(&mut self) -> Vec<DeliveryRecord> {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Messages offered to the fabric.
+    pub fn sent(&self) -> u64 {
+        self.sent.get()
+    }
+
+    /// Messages dropped (loss or partition).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(drop: f64) -> Network {
+        Network::new(NetworkConfig {
+            latency: LatencyModel::Constant(SimDuration::from_millis(1)),
+            drop_probability: drop,
+        })
+    }
+
+    #[test]
+    fn send_assigns_monotone_ids_and_latency() {
+        let mut n = net(0.0);
+        let mut rng = DetRng::new(1);
+        let (id0, t0) = n.send(SimTime::ZERO, &mut rng, Addr(1), Addr(2)).unwrap();
+        let (id1, _) = n
+            .send(SimTime::from_millis(5), &mut rng, Addr(1), Addr(2))
+            .unwrap();
+        assert_eq!(id0, MessageId(0));
+        assert_eq!(id1, MessageId(1));
+        assert_eq!(t0, SimTime::from_millis(1));
+        assert_eq!(n.sent(), 2);
+        assert_eq!(n.dropped(), 0);
+    }
+
+    #[test]
+    fn per_link_fifo_is_enforced() {
+        // With jittery latency, a later message must never arrive before
+        // an earlier one on the same link.
+        let mut n = Network::new(NetworkConfig {
+            latency: LatencyModel::Uniform {
+                min: SimDuration::from_micros(10),
+                max: SimDuration::from_millis(10),
+            },
+            drop_probability: 0.0,
+        });
+        let mut rng = DetRng::new(7);
+        let mut last = SimTime::ZERO;
+        for i in 0..1000 {
+            let now = SimTime::from_nanos(i * 1000);
+            let (_, at) = n.send(now, &mut rng, Addr(1), Addr(2)).unwrap();
+            assert!(at > last, "FIFO violated: {at} after {last}");
+            last = at;
+        }
+    }
+
+    #[test]
+    fn different_links_are_independent() {
+        let mut n = net(0.0);
+        let mut rng = DetRng::new(1);
+        let (_, t_ab) = n.send(SimTime::ZERO, &mut rng, Addr(1), Addr(2)).unwrap();
+        let (_, t_ba) = n.send(SimTime::ZERO, &mut rng, Addr(2), Addr(1)).unwrap();
+        // Reverse direction is a different link: same constant latency.
+        assert_eq!(t_ab, t_ba);
+    }
+
+    #[test]
+    fn partitions_block_and_heal() {
+        let mut n = net(0.0);
+        let mut rng = DetRng::new(1);
+        n.partition(Addr(1), Addr(2));
+        assert_eq!(
+            n.send(SimTime::ZERO, &mut rng, Addr(1), Addr(2))
+                .unwrap_err(),
+            DropReason::Partitioned
+        );
+        assert_eq!(
+            n.send(SimTime::ZERO, &mut rng, Addr(2), Addr(1))
+                .unwrap_err(),
+            DropReason::Partitioned
+        );
+        // Unrelated pair unaffected.
+        assert!(n.send(SimTime::ZERO, &mut rng, Addr(1), Addr(3)).is_ok());
+        n.heal(Addr(1), Addr(2));
+        assert!(n.send(SimTime::ZERO, &mut rng, Addr(1), Addr(2)).is_ok());
+        assert_eq!(n.dropped(), 2);
+    }
+
+    #[test]
+    fn random_loss_drops_roughly_p() {
+        let mut n = net(0.3);
+        let mut rng = DetRng::new(5);
+        let mut drops = 0;
+        for _ in 0..10_000 {
+            if n.send(SimTime::ZERO, &mut rng, Addr(1), Addr(2)).is_err() {
+                drops += 1;
+            }
+        }
+        let rate = drops as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03, "drop rate {rate}");
+    }
+
+    #[test]
+    fn trace_records_only_when_enabled() {
+        let mut n = net(0.0);
+        let mut rng = DetRng::new(1);
+        n.send(SimTime::ZERO, &mut rng, Addr(1), Addr(2)).unwrap();
+        assert!(n.trace().is_empty());
+        n.set_record_trace(true);
+        n.send(SimTime::ZERO, &mut rng, Addr(1), Addr(2)).unwrap();
+        assert_eq!(n.trace().len(), 1);
+        let rec = n.trace()[0];
+        assert_eq!(rec.src, Addr(1));
+        assert_eq!(rec.dst, Addr(2));
+        let taken = n.take_trace();
+        assert_eq!(taken.len(), 1);
+        assert!(n.trace().is_empty());
+    }
+}

@@ -1,0 +1,181 @@
+//! The auto-instrumentation pass (Figure 2, step c).
+//!
+//! "The finder also automatically inserts input/output/time recording
+//! around the offending functions." Given a program and a finder
+//! report, [`instrument`] rewrites every function in the
+//! instrumentation plan: the original body moves to a `__original`
+//! sibling and the public name becomes a wrapper that records the
+//! input, delegates, and records the output and duration — the IR-level
+//! equivalent of what `scalecheck-cluster`'s `CalcEngine` does for the
+//! real pending-range calculation in `Record` mode.
+
+use crate::analysis::FinderReport;
+use crate::ir::{Program, Stmt};
+
+/// Suffix given to the relocated original bodies.
+pub const ORIGINAL_SUFFIX: &str = "__original";
+
+/// Marker statements inserted by the pass.
+///
+/// These extend [`Stmt`] logically; to keep the IR closed they are
+/// expressed as calls to well-known intrinsic functions that the pass
+/// declares.
+pub const RECORD_INPUT: &str = "__scalecheck_record_input";
+/// Output/duration recording intrinsic.
+pub const RECORD_OUTPUT_TIME: &str = "__scalecheck_record_output_time";
+
+/// Errors from the instrumentation pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InstrumentError {
+    /// A planned function does not exist in the program.
+    UnknownFunction(String),
+    /// The program already contains instrumented names (double pass).
+    AlreadyInstrumented(String),
+}
+
+impl std::fmt::Display for InstrumentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstrumentError::UnknownFunction(n) => {
+                write!(f, "cannot instrument unknown function '{n}'")
+            }
+            InstrumentError::AlreadyInstrumented(n) => {
+                write!(f, "function '{n}' is already instrumented")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InstrumentError {}
+
+/// Applies the instrumentation plan of `report` to a copy of `program`.
+///
+/// For each planned function `f`:
+///
+/// 1. `f`'s body moves to `f__original`;
+/// 2. `f` becomes `record_input(); f__original(); record_output_time()`.
+///
+/// Call sites keep calling `f`, so the whole program transparently
+/// gains memoization hooks — exactly the property PIL replacement needs.
+pub fn instrument(program: &Program, report: &FinderReport) -> Result<Program, InstrumentError> {
+    let mut out = program.clone();
+    // Declare the recording intrinsics once (constant-cost bookkeeping).
+    out.function(RECORD_INPUT, 1, vec![Stmt::Compute]);
+    out.function(RECORD_OUTPUT_TIME, 1, vec![Stmt::Compute]);
+
+    for name in &report.instrumentation_plan {
+        let Some(original) = out.functions.get(name).cloned() else {
+            return Err(InstrumentError::UnknownFunction(name.clone()));
+        };
+        let moved = format!("{name}{ORIGINAL_SUFFIX}");
+        if out.functions.contains_key(&moved) {
+            return Err(InstrumentError::AlreadyInstrumented(name.clone()));
+        }
+        out.function(&moved, original.loc, original.body.clone());
+        out.function(
+            name,
+            3,
+            vec![
+                Stmt::Call {
+                    callee: RECORD_INPUT.into(),
+                },
+                Stmt::Call {
+                    callee: moved.clone(),
+                },
+                Stmt::Call {
+                    callee: RECORD_OUTPUT_TIME.into(),
+                },
+            ],
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{analyze, FinderConfig};
+    use crate::model::cluster_protocol_model;
+
+    fn instrumented_model() -> (Program, FinderReport) {
+        let p = cluster_protocol_model();
+        let report = analyze(&p, FinderConfig::default());
+        let out = instrument(&p, &report).expect("instrumentable");
+        (out, report)
+    }
+
+    #[test]
+    fn instrumented_program_still_validates() {
+        let (out, _) = instrumented_model();
+        assert!(out.validate().is_ok());
+    }
+
+    #[test]
+    fn planned_functions_become_wrappers() {
+        let (out, report) = instrumented_model();
+        for name in &report.instrumentation_plan {
+            let f = &out.functions[name];
+            assert_eq!(f.body.len(), 3, "{name} should be a 3-call wrapper");
+            assert!(matches!(
+                &f.body[0],
+                Stmt::Call { callee } if callee == RECORD_INPUT
+            ));
+            assert!(matches!(
+                &f.body[2],
+                Stmt::Call { callee } if callee == RECORD_OUTPUT_TIME
+            ));
+            assert!(
+                out.functions
+                    .contains_key(&format!("{name}{ORIGINAL_SUFFIX}")),
+                "{name} original preserved"
+            );
+        }
+    }
+
+    #[test]
+    fn unplanned_functions_untouched() {
+        let p = cluster_protocol_model();
+        let report = analyze(&p, FinderConfig::default());
+        let out = instrument(&p, &report).unwrap();
+        for (name, f) in &p.functions {
+            if !report.instrumentation_plan.contains(name) {
+                assert_eq!(out.functions[name].loc, f.loc, "{name} must be unchanged");
+            }
+        }
+    }
+
+    #[test]
+    fn instrumented_degree_is_preserved() {
+        // Wrapping must not change asymptotic cost: the wrapper's
+        // degree equals the original's (intrinsics are O(1)).
+        let p = cluster_protocol_model();
+        let before = analyze(&p, FinderConfig::default());
+        let out = instrument(&p, &before).unwrap();
+        let after = analyze(&out, FinderConfig::default());
+        for name in &before.instrumentation_plan {
+            assert_eq!(
+                before.functions[name].degree, after.functions[name].degree,
+                "{name} degree changed"
+            );
+        }
+    }
+
+    #[test]
+    fn double_instrumentation_rejected() {
+        let p = cluster_protocol_model();
+        let report = analyze(&p, FinderConfig::default());
+        let once = instrument(&p, &report).unwrap();
+        let err = instrument(&once, &report).unwrap_err();
+        assert!(matches!(err, InstrumentError::AlreadyInstrumented(_)));
+        assert!(err.to_string().contains("already"));
+    }
+
+    #[test]
+    fn unknown_function_rejected() {
+        let p = cluster_protocol_model();
+        let mut report = analyze(&p, FinderConfig::default());
+        report.instrumentation_plan.push("ghost".into());
+        let err = instrument(&p, &report).unwrap_err();
+        assert_eq!(err, InstrumentError::UnknownFunction("ghost".into()));
+    }
+}

@@ -1,0 +1,46 @@
+//! The PIL-safe / offending-function finder (paper §5, §7 steps a–c).
+//!
+//! The paper proposes — as future work — a program analysis that, given
+//! lightweight `@scaledep` annotations on data structures, finds:
+//!
+//! * **offending functions**: scale-dependent (possibly nested) loops,
+//!   possibly spanning many functions, possibly hidden behind branches
+//!   that only specific workloads exercise;
+//! * **PIL-safe functions**: memoizable (deterministic output for a
+//!   given input) and free of side effects (no sends, disk I/O, locks).
+//!
+//! This crate implements that analysis over a small protocol IR
+//! ([`ir::Program`]): interprocedural symbolic complexity
+//! ([`complexity::Degree`]), path-condition tracking, effect inference,
+//! and the resulting instrumentation plan ([`analysis::FinderReport`]).
+//! [`model::cluster_protocol_model`] ships an IR model of this
+//! repository's own cluster substrate, structured like the historical
+//! Cassandra code (the cubic nest spans nine functions; the quadratic
+//! fresh-ring loop hides behind a bootstrap-only branch).
+//!
+//! # Examples
+//!
+//! ```
+//! use scalecheck_pilfinder::{analyze, cluster_protocol_model, FinderConfig};
+//!
+//! let report = analyze(&cluster_protocol_model(), FinderConfig::default());
+//! // The cubic pending-range calculation is offending and PIL-safe:
+//! assert!(report.instrumentation_plan.iter().any(|f| f == "calculate_pending_ranges_v1"));
+//! // The gossip handler is expensive but sends messages, so it may not
+//! // take the PIL:
+//! assert!(report.unsafe_offenders.iter().any(|f| f == "handle_gossip_ack"));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod complexity;
+pub mod instrument;
+pub mod ir;
+pub mod model;
+
+pub use analysis::{analyze, Contribution, EffectReason, FinderConfig, FinderReport, FuncReport};
+pub use complexity::Degree;
+pub use instrument::{instrument, InstrumentError, ORIGINAL_SUFFIX};
+pub use ir::{Collection, Function, IrError, Program, Stmt};
+pub use model::cluster_protocol_model;

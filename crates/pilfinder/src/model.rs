@@ -1,0 +1,283 @@
+//! An IR model of the cluster substrate's gossip/rebalance protocols.
+//!
+//! This is the model the finder experiments run on. It mirrors the
+//! actual Rust implementation in `scalecheck-cluster`/`scalecheck-ring`,
+//! structured the way the historical Cassandra code was: the cubic loop
+//! nest spans many helper functions (C6127's "O(N³) loops span 1000+ LOC
+//! across 9 functions"), and the quadratic fresh-ring construction hides
+//! behind a `bootstrap_from_scratch` branch that only that workload
+//! exercises.
+
+use crate::complexity::Degree;
+use crate::ir::{Program, Stmt};
+
+fn l(over: &str, body: Vec<Stmt>) -> Stmt {
+    Stmt::Loop {
+        over: over.into(),
+        body,
+    }
+}
+
+fn call(callee: &str) -> Stmt {
+    Stmt::Call {
+        callee: callee.into(),
+    }
+}
+
+/// Builds the protocol model.
+///
+/// Collections (the step-a `@scaledep` annotations — a handful of lines,
+/// matching the paper's "<30 LOC"):
+///
+/// * `ring_table` — size N·P, scale-dependent;
+/// * `change_list` — size M, the gossip message's pending changes;
+/// * `endpoint_states` — size N, scale-dependent;
+/// * `seed_list` — constant.
+pub fn cluster_protocol_model() -> Program {
+    let mut p = Program::new();
+    p.collection("ring_table", true, Degree::ring())
+        .collection("change_list", true, Degree::new(0, 0, 1, 0))
+        .collection("endpoint_states", true, Degree::new(1, 0, 0, 0))
+        .collection("seed_list", false, Degree::CONST);
+
+    // --- The v1 (pre-C3831) cubic nest, spanning 9 functions. ---
+    // handle_gossip_ack -> apply_endpoint_states -> on_topology_change ->
+    // calculate_pending_ranges_v1 -> per_change_recompute ->
+    // collect_future_replicas -> node_replicates_range ->
+    // walk_ring_for_node -> record_pending_range.
+    p.function("record_pending_range", 60, vec![Stmt::Compute]);
+    p.function(
+        "walk_ring_for_node",
+        140,
+        vec![l("ring_table", vec![Stmt::Compute])],
+    );
+    p.function(
+        "node_replicates_range",
+        90,
+        vec![call("walk_ring_for_node")],
+    );
+    p.function(
+        "collect_future_replicas",
+        160,
+        vec![l(
+            "ring_table",
+            vec![call("node_replicates_range"), call("record_pending_range")],
+        )],
+    );
+    p.function(
+        "per_change_recompute",
+        180,
+        vec![
+            Stmt::Sort {
+                over: "ring_table".into(),
+            },
+            l("ring_table", vec![call("collect_future_replicas")]),
+        ],
+    );
+    p.function(
+        "calculate_pending_ranges_v1",
+        220,
+        vec![l("change_list", vec![call("per_change_recompute")])],
+    );
+    p.function(
+        "on_topology_change",
+        120,
+        vec![call("calculate_pending_ranges_v1")],
+    );
+    p.function(
+        "apply_endpoint_states",
+        150,
+        vec![l(
+            "endpoint_states",
+            vec![Stmt::Branch {
+                condition: "state_carries_topology_change".into(),
+                then_body: vec![call("on_topology_change")],
+                else_body: vec![Stmt::Compute],
+            }],
+        )],
+    );
+    p.function(
+        "handle_gossip_ack",
+        130,
+        vec![call("apply_endpoint_states"), Stmt::SendMessage],
+    );
+
+    // --- The v3 (fixed) calculation with the C6127 bootstrap branch. ---
+    p.function(
+        "calculate_pending_ranges_v3",
+        240,
+        vec![Stmt::Branch {
+            condition: "bootstrap_from_scratch".into(),
+            then_body: vec![
+                // Fresh-ring construction: quadratic (linear point lookup
+                // per range).
+                l(
+                    "change_list",
+                    vec![l("ring_table", vec![l("ring_table", vec![Stmt::Compute])])],
+                ),
+            ],
+            else_body: vec![l(
+                "change_list",
+                vec![
+                    Stmt::Sort {
+                        over: "ring_table".into(),
+                    },
+                    l(
+                        "ring_table",
+                        vec![Stmt::BinarySearch {
+                            over: "ring_table".into(),
+                        }],
+                    ),
+                ],
+            )],
+        }],
+    );
+
+    // --- The C5456 shape: calc on its own stage but under the ring lock. ---
+    p.function(
+        "calc_with_coarse_lock",
+        110,
+        vec![
+            Stmt::AcquireLock {
+                lock: "ring_table_lock".into(),
+            },
+            call("calculate_pending_ranges_v1"),
+            Stmt::ReleaseLock {
+                lock: "ring_table_lock".into(),
+            },
+        ],
+    );
+
+    // --- Benign functions the finder must not flag. ---
+    p.function(
+        "make_gossip_syn",
+        80,
+        vec![l("endpoint_states", vec![Stmt::Compute]), Stmt::SendMessage],
+    );
+    p.function(
+        "failure_detector_tick",
+        70,
+        vec![l("endpoint_states", vec![Stmt::Compute])],
+    );
+    p.function("persist_commit_log", 90, vec![Stmt::DiskIo]);
+    p.function(
+        "choose_gossip_target",
+        30,
+        vec![Stmt::ReadClock, Stmt::Compute],
+    );
+    p.function(
+        "read_seed_config",
+        20,
+        vec![l("seed_list", vec![Stmt::Compute])],
+    );
+
+    debug_assert!(p.validate().is_ok());
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{analyze, FinderConfig};
+
+    #[test]
+    fn model_validates() {
+        assert!(cluster_protocol_model().validate().is_ok());
+    }
+
+    #[test]
+    fn v1_chain_is_cubic_and_spans_functions() {
+        let p = cluster_protocol_model();
+        let r = analyze(&p, FinderConfig::default());
+        let f = &r.functions["calculate_pending_ranges_v1"];
+        assert!(f.offending);
+        assert!(f.pil_safe);
+        // M * (NP) ranges * (NP) nodes * (NP) walk = cubic in N and P.
+        assert_eq!(f.degree.n, 3);
+        assert_eq!(f.degree.p, 3);
+        assert_eq!(f.degree.m, 1);
+        // Spans >= 4 functions and 1000+ LOC, like C6127.
+        assert!(f.span_loc > 600, "span {}", f.span_loc);
+        let deepest = f.contributions.iter().map(|c| c.chain.len()).max().unwrap();
+        assert!(deepest >= 3, "chain depth {deepest}");
+    }
+
+    #[test]
+    fn bootstrap_branch_is_reported_with_condition() {
+        let p = cluster_protocol_model();
+        let r = analyze(&p, FinderConfig::default());
+        let f = &r.functions["calculate_pending_ranges_v3"];
+        assert!(f.offending, "bootstrap path makes v3 offending");
+        let boot = f
+            .contributions
+            .iter()
+            .find(|c| c.conditions.contains("bootstrap_from_scratch"))
+            .expect("bootstrap contribution");
+        assert_eq!(boot.degree.n, 2);
+        assert_eq!(boot.degree.m, 1);
+        // The incremental path is merely ~linear with logs.
+        let incr = f
+            .contributions
+            .iter()
+            .find(|c| c.conditions.contains("!bootstrap_from_scratch"))
+            .expect("incremental contribution");
+        assert!(incr.degree.scale_order() <= 2);
+    }
+
+    #[test]
+    fn gossip_handler_is_offending_but_unsafe() {
+        let p = cluster_protocol_model();
+        let r = analyze(&p, FinderConfig::default());
+        let f = &r.functions["handle_gossip_ack"];
+        assert!(f.offending);
+        assert!(!f.pil_safe, "it sends messages");
+        assert!(r.unsafe_offenders.contains(&"handle_gossip_ack".into()));
+    }
+
+    #[test]
+    fn coarse_lock_calc_is_unsafe_for_pil() {
+        let p = cluster_protocol_model();
+        let r = analyze(&p, FinderConfig::default());
+        let f = &r.functions["calc_with_coarse_lock"];
+        assert!(f.offending);
+        assert!(!f.pil_safe, "locking is a side effect");
+    }
+
+    #[test]
+    fn instrumentation_plan_is_the_pure_calcs() {
+        let p = cluster_protocol_model();
+        let r = analyze(&p, FinderConfig::default());
+        assert!(r
+            .instrumentation_plan
+            .contains(&"calculate_pending_ranges_v1".into()));
+        assert!(r
+            .instrumentation_plan
+            .contains(&"calculate_pending_ranges_v3".into()));
+        assert!(!r.instrumentation_plan.contains(&"handle_gossip_ack".into()));
+        assert!(!r
+            .instrumentation_plan
+            .contains(&"persist_commit_log".into()));
+    }
+
+    #[test]
+    fn benign_functions_not_flagged() {
+        let p = cluster_protocol_model();
+        let r = analyze(&p, FinderConfig::default());
+        for name in [
+            "make_gossip_syn",
+            "failure_detector_tick",
+            "persist_commit_log",
+            "choose_gossip_target",
+            "read_seed_config",
+        ] {
+            assert!(!r.functions[name].offending, "{name} wrongly offending");
+        }
+    }
+
+    #[test]
+    fn nondeterminism_detected() {
+        let p = cluster_protocol_model();
+        let r = analyze(&p, FinderConfig::default());
+        assert!(!r.functions["choose_gossip_target"].pil_safe);
+    }
+}

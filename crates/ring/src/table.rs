@@ -1,0 +1,393 @@
+//! The ring table: node statuses, token ownership, and topology changes.
+//!
+//! This is the `@scaledep`-annotated data structure of the paper's
+//! Figure 2: its size grows with cluster size (N physical nodes times P
+//! virtual nodes), and loops over it are what the offending-function
+//! finder flags.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::token::{NodeId, Token};
+
+/// Gossip-visible lifecycle status of a node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum NodeStatus {
+    /// Fully joined; owns its ranges.
+    Normal,
+    /// Bootstrapping; will own its ranges once the join completes.
+    Joining,
+    /// Decommissioning; still owns its ranges but is leaving.
+    Leaving,
+    /// Departed; owns nothing.
+    Left,
+}
+
+/// Per-node ring state.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NodeState {
+    /// Lifecycle status.
+    pub status: NodeStatus,
+    /// The node's tokens (sorted, deduplicated at insert).
+    pub tokens: Vec<Token>,
+}
+
+/// A topology change carried by gossip (the paper's `M`-element change
+/// list).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum TopologyChange {
+    /// `node` is joining with the given tokens.
+    Join {
+        /// The joining node.
+        node: NodeId,
+        /// Its tokens.
+        tokens: Vec<Token>,
+    },
+    /// `node` is leaving the ring.
+    Leave {
+        /// The departing node.
+        node: NodeId,
+    },
+}
+
+impl TopologyChange {
+    /// The node this change concerns.
+    pub fn node(&self) -> NodeId {
+        match self {
+            TopologyChange::Join { node, .. } | TopologyChange::Leave { node } => *node,
+        }
+    }
+}
+
+/// Errors from ring-table mutation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RingError {
+    /// The node is already present.
+    DuplicateNode(NodeId),
+    /// A token is already owned by another node.
+    DuplicateToken(Token, NodeId),
+    /// The node is not in the table.
+    UnknownNode(NodeId),
+}
+
+impl std::fmt::Display for RingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RingError::DuplicateNode(n) => write!(f, "node {n} already in ring"),
+            RingError::DuplicateToken(t, n) => write!(f, "token {t} already owned by {n}"),
+            RingError::UnknownNode(n) => write!(f, "node {n} not in ring"),
+        }
+    }
+}
+
+impl std::error::Error for RingError {}
+
+/// The cluster's view of token ownership.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RingTable {
+    rf: usize,
+    nodes: BTreeMap<NodeId, NodeState>,
+}
+
+impl RingTable {
+    /// Creates an empty ring with replication factor `rf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rf` is zero.
+    pub fn new(rf: usize) -> Self {
+        assert!(rf > 0, "replication factor must be positive");
+        RingTable {
+            rf,
+            nodes: BTreeMap::new(),
+        }
+    }
+
+    /// Replication factor.
+    pub fn rf(&self) -> usize {
+        self.rf
+    }
+
+    /// Adds a node with the given status and tokens.
+    pub fn add_node(
+        &mut self,
+        node: NodeId,
+        status: NodeStatus,
+        mut tokens: Vec<Token>,
+    ) -> Result<(), RingError> {
+        if self.nodes.contains_key(&node) {
+            return Err(RingError::DuplicateNode(node));
+        }
+        tokens.sort_unstable();
+        tokens.dedup();
+        for t in &tokens {
+            if let Some(owner) = self.owner_of_token(*t) {
+                return Err(RingError::DuplicateToken(*t, owner));
+            }
+        }
+        self.nodes.insert(node, NodeState { status, tokens });
+        Ok(())
+    }
+
+    /// Changes a node's status.
+    pub fn set_status(&mut self, node: NodeId, status: NodeStatus) -> Result<(), RingError> {
+        match self.nodes.get_mut(&node) {
+            Some(st) => {
+                st.status = status;
+                Ok(())
+            }
+            None => Err(RingError::UnknownNode(node)),
+        }
+    }
+
+    /// Removes a node entirely.
+    pub fn remove_node(&mut self, node: NodeId) -> Result<(), RingError> {
+        self.nodes
+            .remove(&node)
+            .map(|_| ())
+            .ok_or(RingError::UnknownNode(node))
+    }
+
+    /// A node's state, if present.
+    pub fn node(&self, node: NodeId) -> Option<&NodeState> {
+        self.nodes.get(&node)
+    }
+
+    /// Number of nodes in any status except `Left`.
+    pub fn member_count(&self) -> usize {
+        self.nodes
+            .values()
+            .filter(|s| s.status != NodeStatus::Left)
+            .count()
+    }
+
+    /// Iterates over `(node, state)` in node-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &NodeState)> {
+        self.nodes.iter().map(|(&id, st)| (id, st))
+    }
+
+    /// Which node currently owns a token, if any.
+    pub fn owner_of_token(&self, t: Token) -> Option<NodeId> {
+        for (&id, st) in &self.nodes {
+            if st.tokens.binary_search(&t).is_ok() {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// The sorted `(token, node)` map of *current* owners: nodes in
+    /// `Normal` or `Leaving` status (Leaving nodes still own their ranges
+    /// until departure completes).
+    pub fn current_token_map(&self) -> Vec<(Token, NodeId)> {
+        let mut map: Vec<(Token, NodeId)> = self
+            .nodes
+            .iter()
+            .filter(|(_, st)| matches!(st.status, NodeStatus::Normal | NodeStatus::Leaving))
+            .flat_map(|(&id, st)| st.tokens.iter().map(move |&t| (t, id)))
+            .collect();
+        map.sort_unstable();
+        map
+    }
+
+    /// The sorted `(token, node)` map after applying `changes` on top of
+    /// the current owners: joins add tokens, leaves remove the node's
+    /// tokens.
+    pub fn future_token_map(&self, changes: &[TopologyChange]) -> Vec<(Token, NodeId)> {
+        let mut map = self.current_token_map();
+        for ch in changes {
+            match ch {
+                TopologyChange::Join { node, tokens } => {
+                    for &t in tokens {
+                        map.push((t, *node));
+                    }
+                }
+                TopologyChange::Leave { node } => {
+                    map.retain(|&(_, n)| n != *node);
+                }
+            }
+        }
+        map.sort_unstable();
+        map.dedup_by_key(|&mut (t, _)| t);
+        map
+    }
+
+    /// Canonical byte encoding for memoization digests: stable across
+    /// insertion order because the underlying maps are ordered.
+    pub fn write_canonical(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.rf as u64).to_le_bytes());
+        out.extend_from_slice(&(self.nodes.len() as u64).to_le_bytes());
+        for (id, st) in &self.nodes {
+            out.extend_from_slice(&id.0.to_le_bytes());
+            out.push(match st.status {
+                NodeStatus::Normal => 0,
+                NodeStatus::Joining => 1,
+                NodeStatus::Leaving => 2,
+                NodeStatus::Left => 3,
+            });
+            out.extend_from_slice(&(st.tokens.len() as u64).to_le_bytes());
+            for t in &st.tokens {
+                out.extend_from_slice(&t.0.to_le_bytes());
+            }
+        }
+    }
+}
+
+/// Canonical byte encoding of a change list (for memo digests).
+pub fn write_changes_canonical(changes: &[TopologyChange], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(changes.len() as u64).to_le_bytes());
+    for ch in changes {
+        match ch {
+            TopologyChange::Join { node, tokens } => {
+                out.push(0);
+                out.extend_from_slice(&node.0.to_le_bytes());
+                out.extend_from_slice(&(tokens.len() as u64).to_le_bytes());
+                for t in tokens {
+                    out.extend_from_slice(&t.0.to_le_bytes());
+                }
+            }
+            TopologyChange::Leave { node } => {
+                out.push(1);
+                out.extend_from_slice(&node.0.to_le_bytes());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::spread_tokens;
+
+    fn ring_of(n: u32, p: usize) -> RingTable {
+        let mut r = RingTable::new(3);
+        for i in 0..n {
+            r.add_node(NodeId(i), NodeStatus::Normal, spread_tokens(NodeId(i), p))
+                .unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let r = ring_of(4, 8);
+        assert_eq!(r.member_count(), 4);
+        let t = r.node(NodeId(2)).unwrap().tokens[0];
+        assert_eq!(r.owner_of_token(t), Some(NodeId(2)));
+        assert_eq!(r.owner_of_token(Token(1)), None);
+    }
+
+    #[test]
+    fn duplicate_node_rejected() {
+        let mut r = ring_of(2, 4);
+        let err = r
+            .add_node(NodeId(0), NodeStatus::Normal, vec![Token(99)])
+            .unwrap_err();
+        assert_eq!(err, RingError::DuplicateNode(NodeId(0)));
+    }
+
+    #[test]
+    fn duplicate_token_rejected() {
+        let mut r = RingTable::new(3);
+        r.add_node(NodeId(0), NodeStatus::Normal, vec![Token(5)])
+            .unwrap();
+        let err = r
+            .add_node(NodeId(1), NodeStatus::Normal, vec![Token(5)])
+            .unwrap_err();
+        assert_eq!(err, RingError::DuplicateToken(Token(5), NodeId(0)));
+    }
+
+    #[test]
+    fn unknown_node_errors() {
+        let mut r = RingTable::new(3);
+        assert_eq!(
+            r.set_status(NodeId(9), NodeStatus::Leaving),
+            Err(RingError::UnknownNode(NodeId(9)))
+        );
+        assert_eq!(
+            r.remove_node(NodeId(9)),
+            Err(RingError::UnknownNode(NodeId(9)))
+        );
+    }
+
+    #[test]
+    fn current_map_excludes_joining_and_left() {
+        let mut r = RingTable::new(3);
+        r.add_node(NodeId(0), NodeStatus::Normal, vec![Token(10)])
+            .unwrap();
+        r.add_node(NodeId(1), NodeStatus::Joining, vec![Token(20)])
+            .unwrap();
+        r.add_node(NodeId(2), NodeStatus::Leaving, vec![Token(30)])
+            .unwrap();
+        r.add_node(NodeId(3), NodeStatus::Left, vec![Token(40)])
+            .unwrap();
+        let map = r.current_token_map();
+        let owners: Vec<NodeId> = map.iter().map(|&(_, n)| n).collect();
+        assert_eq!(owners, vec![NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn future_map_applies_changes() {
+        let mut r = RingTable::new(3);
+        r.add_node(NodeId(0), NodeStatus::Normal, vec![Token(10)])
+            .unwrap();
+        r.add_node(NodeId(1), NodeStatus::Normal, vec![Token(20)])
+            .unwrap();
+        let future = r.future_token_map(&[
+            TopologyChange::Leave { node: NodeId(0) },
+            TopologyChange::Join {
+                node: NodeId(2),
+                tokens: vec![Token(5), Token(15)],
+            },
+        ]);
+        assert_eq!(
+            future,
+            vec![
+                (Token(5), NodeId(2)),
+                (Token(15), NodeId(2)),
+                (Token(20), NodeId(1))
+            ]
+        );
+    }
+
+    #[test]
+    fn canonical_encoding_is_stable() {
+        let a = ring_of(8, 16);
+        let b = ring_of(8, 16);
+        let mut ba = Vec::new();
+        let mut bb = Vec::new();
+        a.write_canonical(&mut ba);
+        b.write_canonical(&mut bb);
+        assert_eq!(ba, bb);
+        assert!(!ba.is_empty());
+    }
+
+    #[test]
+    fn canonical_encoding_distinguishes_status() {
+        let mut a = ring_of(4, 4);
+        let b = a.clone();
+        a.set_status(NodeId(1), NodeStatus::Leaving).unwrap();
+        let mut ba = Vec::new();
+        let mut bb = Vec::new();
+        a.write_canonical(&mut ba);
+        b.write_canonical(&mut bb);
+        assert_ne!(ba, bb);
+    }
+
+    #[test]
+    fn change_encoding_distinguishes_kinds() {
+        let join = TopologyChange::Join {
+            node: NodeId(1),
+            tokens: vec![Token(7)],
+        };
+        let leave = TopologyChange::Leave { node: NodeId(1) };
+        let mut bj = Vec::new();
+        let mut bl = Vec::new();
+        write_changes_canonical(std::slice::from_ref(&join), &mut bj);
+        write_changes_canonical(std::slice::from_ref(&leave), &mut bl);
+        assert_ne!(bj, bl);
+        assert_eq!(join.node(), NodeId(1));
+        assert_eq!(leave.node(), NodeId(1));
+    }
+}

@@ -1,0 +1,346 @@
+//! The discrete-event engine.
+//!
+//! [`Engine`] owns a priority queue of timestamped events; the simulated
+//! world state `S` lives outside the engine so event closures can mutate
+//! it freely while scheduling follow-up events through [`Ctx`].
+//!
+//! Determinism: events at equal timestamps fire in scheduling order
+//! (a monotone sequence number breaks ties), and all randomness flows
+//! through the engine's seeded [`DetRng`].
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::rng::DetRng;
+use crate::time::{SimDuration, SimTime};
+
+/// An event callback: mutates the world and may schedule more events.
+pub type EventFn<S> = Box<dyn FnOnce(&mut S, &mut Ctx<'_, S>)>;
+
+struct Scheduled<S> {
+    at: SimTime,
+    seq: u64,
+    f: EventFn<S>,
+}
+
+impl<S> PartialEq for Scheduled<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<S> Eq for Scheduled<S> {}
+impl<S> PartialOrd for Scheduled<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S> Ord for Scheduled<S> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Why [`Engine::run_until`] returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The deadline was reached (events may remain beyond it).
+    DeadlineReached,
+    /// The queue drained before the deadline.
+    QueueDrained,
+    /// An event called [`Ctx::stop`].
+    Stopped,
+}
+
+/// Summary of one `run_until` call.
+#[derive(Clone, Copy, Debug)]
+pub struct RunStats {
+    /// Number of events executed.
+    pub executed: u64,
+    /// Virtual time when the run ended.
+    pub ended_at: SimTime,
+    /// Why the run ended.
+    pub outcome: RunOutcome,
+}
+
+/// Handle given to event callbacks for scheduling and randomness.
+pub struct Ctx<'a, S> {
+    now: SimTime,
+    queue: &'a mut BinaryHeap<Scheduled<S>>,
+    seq: &'a mut u64,
+    rng: &'a mut DetRng,
+    stop: &'a mut bool,
+}
+
+impl<'a, S> Ctx<'a, S> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `f` to run at absolute time `at` (clamped to now).
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F)
+    where
+        F: FnOnce(&mut S, &mut Ctx<'_, S>) + 'static,
+    {
+        let at = at.max(self.now);
+        *self.seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq: *self.seq,
+            f: Box::new(f),
+        });
+    }
+
+    /// Schedules `f` to run after `delay`.
+    pub fn schedule_after<F>(&mut self, delay: SimDuration, f: F)
+    where
+        F: FnOnce(&mut S, &mut Ctx<'_, S>) + 'static,
+    {
+        self.schedule_at(self.now + delay, f);
+    }
+
+    /// The engine's deterministic RNG.
+    pub fn rng(&mut self) -> &mut DetRng {
+        self.rng
+    }
+
+    /// Requests that the run loop stop after this event returns.
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+}
+
+/// A deterministic discrete-event engine over world state `S`.
+pub struct Engine<S> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<S>>,
+    rng: DetRng,
+    stop: bool,
+    executed_total: u64,
+}
+
+impl<S> Engine<S> {
+    /// Creates an engine with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            rng: DetRng::new(seed),
+            stop: false,
+            executed_total: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total events executed over the engine's lifetime.
+    pub fn executed_total(&self) -> u64 {
+        self.executed_total
+    }
+
+    /// The engine's deterministic RNG (e.g. for setup-time draws).
+    pub fn rng(&mut self) -> &mut DetRng {
+        &mut self.rng
+    }
+
+    /// Schedules `f` at absolute time `at` from outside an event callback.
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F)
+    where
+        F: FnOnce(&mut S, &mut Ctx<'_, S>) + 'static,
+    {
+        let at = at.max(self.now);
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq: self.seq,
+            f: Box::new(f),
+        });
+    }
+
+    /// Schedules `f` after `delay` from outside an event callback.
+    pub fn schedule_after<F>(&mut self, delay: SimDuration, f: F)
+    where
+        F: FnOnce(&mut S, &mut Ctx<'_, S>) + 'static,
+    {
+        self.schedule_at(self.now + delay, f);
+    }
+
+    /// Runs events until `deadline` (inclusive), the queue drains, or an
+    /// event calls [`Ctx::stop`].
+    pub fn run_until(&mut self, state: &mut S, deadline: SimTime) -> RunStats {
+        let mut executed = 0u64;
+        self.stop = false;
+        let outcome = loop {
+            match self.queue.peek() {
+                None => break RunOutcome::QueueDrained,
+                Some(ev) if ev.at > deadline => break RunOutcome::DeadlineReached,
+                Some(_) => {}
+            }
+            let ev = self.queue.pop().expect("peeked event present");
+            debug_assert!(ev.at >= self.now, "event queue went backwards");
+            self.now = ev.at;
+            let mut ctx = Ctx {
+                now: self.now,
+                queue: &mut self.queue,
+                seq: &mut self.seq,
+                rng: &mut self.rng,
+                stop: &mut self.stop,
+            };
+            (ev.f)(state, &mut ctx);
+            executed += 1;
+            if self.stop {
+                break RunOutcome::Stopped;
+            }
+        };
+        if outcome == RunOutcome::DeadlineReached {
+            self.now = deadline;
+        }
+        self.executed_total += executed;
+        RunStats {
+            executed,
+            ended_at: self.now,
+            outcome,
+        }
+    }
+
+    /// Runs until the queue drains or an event stops the engine.
+    pub fn run_to_completion(&mut self, state: &mut S) -> RunStats {
+        self.run_until(state, SimTime::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut eng: Engine<Vec<u32>> = Engine::new(1);
+        eng.schedule_at(SimTime::from_secs(3), |s, _| s.push(3));
+        eng.schedule_at(SimTime::from_secs(1), |s, _| s.push(1));
+        eng.schedule_at(SimTime::from_secs(2), |s, _| s.push(2));
+        let mut out = Vec::new();
+        let stats = eng.run_to_completion(&mut out);
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(stats.executed, 3);
+        assert_eq!(stats.outcome, RunOutcome::QueueDrained);
+    }
+
+    #[test]
+    fn ties_fire_in_scheduling_order() {
+        let mut eng: Engine<Vec<u32>> = Engine::new(1);
+        let t = SimTime::from_secs(1);
+        for i in 0..10 {
+            eng.schedule_at(t, move |s, _| s.push(i));
+        }
+        let mut out = Vec::new();
+        eng.run_to_completion(&mut out);
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut eng: Engine<Vec<u64>> = Engine::new(1);
+        eng.schedule_at(SimTime::from_secs(1), |s, ctx| {
+            s.push(ctx.now().as_nanos());
+            ctx.schedule_after(SimDuration::from_secs(2), |s, ctx| {
+                s.push(ctx.now().as_nanos());
+            });
+        });
+        let mut out = Vec::new();
+        eng.run_to_completion(&mut out);
+        assert_eq!(out, vec![1_000_000_000, 3_000_000_000]);
+    }
+
+    #[test]
+    fn deadline_stops_and_clamps_clock() {
+        let mut eng: Engine<Vec<u32>> = Engine::new(1);
+        eng.schedule_at(SimTime::from_secs(1), |s, _| s.push(1));
+        eng.schedule_at(SimTime::from_secs(10), |s, _| s.push(10));
+        let mut out = Vec::new();
+        let stats = eng.run_until(&mut out, SimTime::from_secs(5));
+        assert_eq!(out, vec![1]);
+        assert_eq!(stats.outcome, RunOutcome::DeadlineReached);
+        assert_eq!(eng.now(), SimTime::from_secs(5));
+        assert_eq!(eng.pending(), 1);
+        // Resuming picks up the rest.
+        let stats = eng.run_to_completion(&mut out);
+        assert_eq!(out, vec![1, 10]);
+        assert_eq!(stats.outcome, RunOutcome::QueueDrained);
+    }
+
+    #[test]
+    fn stop_halts_immediately() {
+        let mut eng: Engine<Vec<u32>> = Engine::new(1);
+        eng.schedule_at(SimTime::from_secs(1), |s, ctx| {
+            s.push(1);
+            ctx.stop();
+        });
+        eng.schedule_at(SimTime::from_secs(2), |s, _| s.push(2));
+        let mut out = Vec::new();
+        let stats = eng.run_to_completion(&mut out);
+        assert_eq!(out, vec![1]);
+        assert_eq!(stats.outcome, RunOutcome::Stopped);
+        assert_eq!(eng.pending(), 1);
+    }
+
+    #[test]
+    fn past_scheduling_clamps_to_now() {
+        let mut eng: Engine<Vec<u64>> = Engine::new(1);
+        eng.schedule_at(SimTime::from_secs(5), |s, ctx| {
+            // Attempt to schedule in the past; must fire at `now`.
+            ctx.schedule_at(SimTime::from_secs(1), |s2, ctx2| {
+                s2.push(ctx2.now().as_nanos());
+            });
+            s.push(ctx.now().as_nanos());
+        });
+        let mut out = Vec::new();
+        eng.run_to_completion(&mut out);
+        assert_eq!(out, vec![5_000_000_000, 5_000_000_000]);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs() {
+        fn run(seed: u64) -> Vec<u64> {
+            let mut eng: Engine<Vec<u64>> = Engine::new(seed);
+            for _ in 0..5 {
+                eng.schedule_at(SimTime::ZERO, |s, ctx| {
+                    let d = SimDuration::from_nanos(ctx.rng().gen_range(1000));
+                    ctx.schedule_after(d, move |s2, ctx2| s2.push(ctx2.now().as_nanos()));
+                    s.push(d.as_nanos());
+                });
+            }
+            let mut out = Vec::new();
+            eng.run_to_completion(&mut out);
+            out
+        }
+        assert_eq!(run(77), run(77));
+        assert_ne!(run(77), run(78));
+    }
+
+    #[test]
+    fn executed_total_accumulates() {
+        let mut eng: Engine<()> = Engine::new(1);
+        eng.schedule_at(SimTime::from_secs(1), |_, _| {});
+        eng.schedule_at(SimTime::from_secs(2), |_, _| {});
+        eng.run_until(&mut (), SimTime::from_secs(1));
+        assert_eq!(eng.executed_total(), 1);
+        eng.run_to_completion(&mut ());
+        assert_eq!(eng.executed_total(), 2);
+    }
+}

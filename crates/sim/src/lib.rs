@@ -1,0 +1,54 @@
+//! Deterministic discrete-event simulation kernel for ScaleCheck.
+//!
+//! This crate is the bottom layer of the ScaleCheck reproduction
+//! ("Scalability Bugs: When 100-Node Testing is Not Enough", HotOS '17).
+//! It provides:
+//!
+//! * virtual time ([`SimTime`], [`SimDuration`]);
+//! * a deterministic event engine ([`Engine`]) with seeded randomness
+//!   ([`DetRng`]);
+//! * CPU/machine models ([`Machine`], [`MachinePark`]) that realize the
+//!   paper's three deployment semantics (real-scale, basic colocation,
+//!   PIL replay);
+//! * virtual-time locks ([`LockTable`]) for the C5456 coarse-lock bug;
+//! * SEDA-like serial stages ([`Stage`]) with event-lateness accounting;
+//! * memory accounting ([`MemoryModel`]) for the §6/§8 colocation
+//!   bottlenecks;
+//! * small metrics types ([`Histogram`], [`Counter`], [`TimeSeries`]).
+//!
+//! Everything is deterministic: same seed, same run, bit for bit.
+//!
+//! # Examples
+//!
+//! ```
+//! use scalecheck_sim::{Engine, SimDuration, SimTime};
+//!
+//! let mut engine: Engine<u32> = Engine::new(42);
+//! engine.schedule_at(SimTime::from_secs(1), |count, ctx| {
+//!     *count += 1;
+//!     ctx.schedule_after(SimDuration::from_secs(1), |count, _| *count += 1);
+//! });
+//! let mut count = 0;
+//! engine.run_to_completion(&mut count);
+//! assert_eq!(count, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod cpu;
+pub mod engine;
+pub mod lock;
+pub mod memory;
+pub mod metrics;
+pub mod rng;
+pub mod stage;
+pub mod time;
+
+pub use cpu::{ps_completions, CpuGrant, CtxSwitchModel, Machine, MachineId, MachinePark};
+pub use engine::{Ctx, Engine, EventFn, RunOutcome, RunStats};
+pub use lock::{Acquire, HolderToken, LockId, LockTable};
+pub use memory::{MemoryModel, OutOfMemory, MIB};
+pub use metrics::{Counter, Histogram, TimeSeries};
+pub use rng::DetRng;
+pub use stage::Stage;
+pub use time::{SimDuration, SimTime};

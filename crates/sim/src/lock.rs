@@ -1,0 +1,234 @@
+//! Virtual-time locks.
+//!
+//! Bug C5456 is a locking bug: the pending-range calculation holds a
+//! coarse-grained lock on the ring table while the gossip stage blocks on
+//! the same lock to apply heartbeats. [`LockTable`] models mutexes in
+//! virtual time: acquisition is immediate when free, otherwise the holder
+//! token is queued FIFO and the caller is told to park. The lock table is
+//! pure data — on release it reports which waiter now holds the lock, and
+//! the domain schedules that waiter's continuation itself. This keeps the
+//! lock model engine-agnostic and directly testable.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::Histogram;
+use crate::time::SimTime;
+
+/// Identifies a lock within a [`LockTable`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct LockId(pub usize);
+
+/// An opaque token naming a lock holder (e.g. a (node, stage) encoding).
+pub type HolderToken = u64;
+
+/// Outcome of an acquisition attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Acquire {
+    /// The caller now holds the lock.
+    Granted,
+    /// The lock is held; the caller was enqueued and must park until its
+    /// token is returned by [`LockTable::release`].
+    Queued,
+}
+
+#[derive(Clone, Debug, Default)]
+struct LockState {
+    holder: Option<HolderToken>,
+    waiters: VecDeque<(HolderToken, SimTime)>,
+    acquired_at: SimTime,
+    acquisitions: u64,
+    contentions: u64,
+    wait: Histogram,
+    hold: Histogram,
+}
+
+/// A table of virtual-time FIFO mutexes.
+#[derive(Clone, Debug, Default)]
+pub struct LockTable {
+    locks: Vec<LockState>,
+}
+
+impl LockTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        LockTable { locks: Vec::new() }
+    }
+
+    /// Creates a new lock and returns its id.
+    pub fn create(&mut self) -> LockId {
+        self.locks.push(LockState::default());
+        LockId(self.locks.len() - 1)
+    }
+
+    /// Attempts to acquire `lock` for `holder` at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `holder` already holds the lock (virtual locks are not
+    /// reentrant; a reentrant acquire in the modelled system would be a
+    /// self-deadlock and we want to hear about it).
+    pub fn acquire(&mut self, lock: LockId, holder: HolderToken, now: SimTime) -> Acquire {
+        let st = &mut self.locks[lock.0];
+        assert_ne!(
+            st.holder,
+            Some(holder),
+            "holder {holder} re-acquired lock {lock:?} (self-deadlock)"
+        );
+        if st.holder.is_none() {
+            st.holder = Some(holder);
+            st.acquired_at = now;
+            st.acquisitions += 1;
+            st.wait.record(crate::time::SimDuration::ZERO);
+            Acquire::Granted
+        } else {
+            st.waiters.push_back((holder, now));
+            st.contentions += 1;
+            Acquire::Queued
+        }
+    }
+
+    /// Releases `lock`, which must be held by `holder`. If a waiter was
+    /// queued, it becomes the holder and its token is returned so the
+    /// caller can schedule its continuation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `holder` does not hold the lock.
+    pub fn release(
+        &mut self,
+        lock: LockId,
+        holder: HolderToken,
+        now: SimTime,
+    ) -> Option<HolderToken> {
+        let st = &mut self.locks[lock.0];
+        assert_eq!(
+            st.holder,
+            Some(holder),
+            "release of lock {lock:?} by non-holder {holder}"
+        );
+        st.hold.record(now.since(st.acquired_at));
+        match st.waiters.pop_front() {
+            Some((next, queued_at)) => {
+                st.holder = Some(next);
+                st.acquired_at = now;
+                st.acquisitions += 1;
+                st.wait.record(now.since(queued_at));
+                Some(next)
+            }
+            None => {
+                st.holder = None;
+                None
+            }
+        }
+    }
+
+    /// Current holder, if any.
+    pub fn holder(&self, lock: LockId) -> Option<HolderToken> {
+        self.locks[lock.0].holder
+    }
+
+    /// Number of queued waiters.
+    pub fn waiters(&self, lock: LockId) -> usize {
+        self.locks[lock.0].waiters.len()
+    }
+
+    /// Total successful acquisitions.
+    pub fn acquisitions(&self, lock: LockId) -> u64 {
+        self.locks[lock.0].acquisitions
+    }
+
+    /// Total acquisition attempts that had to queue.
+    pub fn contentions(&self, lock: LockId) -> u64 {
+        self.locks[lock.0].contentions
+    }
+
+    /// Histogram of time spent waiting for the lock.
+    pub fn wait_times(&self, lock: LockId) -> &Histogram {
+        &self.locks[lock.0].wait
+    }
+
+    /// Histogram of hold durations.
+    pub fn hold_times(&self, lock: LockId) -> &Histogram {
+        &self.locks[lock.0].hold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn at_ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn free_lock_grants_immediately() {
+        let mut lt = LockTable::new();
+        let l = lt.create();
+        assert_eq!(lt.acquire(l, 1, SimTime::ZERO), Acquire::Granted);
+        assert_eq!(lt.holder(l), Some(1));
+    }
+
+    #[test]
+    fn contended_lock_queues_fifo() {
+        let mut lt = LockTable::new();
+        let l = lt.create();
+        assert_eq!(lt.acquire(l, 1, SimTime::ZERO), Acquire::Granted);
+        assert_eq!(lt.acquire(l, 2, at_ms(1)), Acquire::Queued);
+        assert_eq!(lt.acquire(l, 3, at_ms(2)), Acquire::Queued);
+        assert_eq!(lt.waiters(l), 2);
+        // FIFO hand-off.
+        assert_eq!(lt.release(l, 1, at_ms(10)), Some(2));
+        assert_eq!(lt.holder(l), Some(2));
+        assert_eq!(lt.release(l, 2, at_ms(20)), Some(3));
+        assert_eq!(lt.release(l, 3, at_ms(30)), None);
+        assert_eq!(lt.holder(l), None);
+        assert_eq!(lt.acquisitions(l), 3);
+        assert_eq!(lt.contentions(l), 2);
+    }
+
+    #[test]
+    fn wait_and_hold_times_recorded() {
+        let mut lt = LockTable::new();
+        let l = lt.create();
+        lt.acquire(l, 1, SimTime::ZERO);
+        lt.acquire(l, 2, at_ms(5));
+        lt.release(l, 1, at_ms(30));
+        // Holder 1 held 30ms; waiter 2 waited 25ms.
+        assert_eq!(lt.hold_times(l).max(), SimDuration::from_millis(30));
+        assert_eq!(lt.wait_times(l).max(), SimDuration::from_millis(25));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-deadlock")]
+    fn reentrant_acquire_panics() {
+        let mut lt = LockTable::new();
+        let l = lt.create();
+        lt.acquire(l, 1, SimTime::ZERO);
+        lt.acquire(l, 1, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-holder")]
+    fn release_by_non_holder_panics() {
+        let mut lt = LockTable::new();
+        let l = lt.create();
+        lt.acquire(l, 1, SimTime::ZERO);
+        lt.release(l, 2, SimTime::ZERO);
+    }
+
+    #[test]
+    fn independent_locks_do_not_interfere() {
+        let mut lt = LockTable::new();
+        let a = lt.create();
+        let b = lt.create();
+        assert_eq!(lt.acquire(a, 1, SimTime::ZERO), Acquire::Granted);
+        assert_eq!(lt.acquire(b, 1, SimTime::ZERO), Acquire::Granted);
+        assert_eq!(lt.acquire(b, 2, SimTime::ZERO), Acquire::Queued);
+        assert_eq!(lt.waiters(a), 0);
+        assert_eq!(lt.waiters(b), 1);
+    }
+}

@@ -1,0 +1,202 @@
+//! Memory accounting for colocation experiments.
+//!
+//! §6 reports that memory is a first-class colocation bottleneck: managed
+//! runtimes cost ~70 MB per process, and space-oblivious code (the
+//! rebalance protocol's `(N-1) * P * 1.3 MB` over-allocation) blows up a
+//! colocated machine long before CPU does. [`MemoryModel`] tracks labelled
+//! allocations against a fixed capacity and reports out-of-memory as a
+//! typed error, which the colocation-limit experiment (§8: nodes "receive
+//! out-of-memory exceptions and crash") surfaces.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Error returned when an allocation exceeds capacity.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutOfMemory {
+    /// The label of the failing allocation.
+    pub label: String,
+    /// Bytes requested.
+    pub requested: u64,
+    /// Bytes in use at the time of the request.
+    pub in_use: u64,
+    /// Machine capacity.
+    pub capacity: u64,
+}
+
+impl fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out of memory: '{}' requested {} B with {}/{} B in use",
+            self.label, self.requested, self.in_use, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// A labelled memory budget for one machine.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MemoryModel {
+    capacity: u64,
+    in_use: u64,
+    peak: u64,
+    by_label: BTreeMap<String, u64>,
+    oom_events: u64,
+}
+
+impl MemoryModel {
+    /// Creates a budget with the given capacity in bytes.
+    pub fn new(capacity: u64) -> Self {
+        MemoryModel {
+            capacity,
+            in_use: 0,
+            peak: 0,
+            by_label: BTreeMap::new(),
+            oom_events: 0,
+        }
+    }
+
+    /// Convenience constructor from gibibytes.
+    pub fn with_gib(gib: u64) -> Self {
+        Self::new(gib * (1 << 30))
+    }
+
+    /// Attempts to allocate `bytes` under `label`.
+    pub fn alloc(&mut self, label: &str, bytes: u64) -> Result<(), OutOfMemory> {
+        if self.in_use.saturating_add(bytes) > self.capacity {
+            self.oom_events += 1;
+            return Err(OutOfMemory {
+                label: label.to_string(),
+                requested: bytes,
+                in_use: self.in_use,
+                capacity: self.capacity,
+            });
+        }
+        self.in_use += bytes;
+        self.peak = self.peak.max(self.in_use);
+        *self.by_label.entry(label.to_string()).or_insert(0) += bytes;
+        Ok(())
+    }
+
+    /// Frees `bytes` under `label`, saturating at zero (double-free of the
+    /// model is a caller bug but must not poison the accounting).
+    pub fn free(&mut self, label: &str, bytes: u64) {
+        let e = self.by_label.entry(label.to_string()).or_insert(0);
+        let freed = bytes.min(*e);
+        *e -= freed;
+        self.in_use = self.in_use.saturating_sub(freed);
+    }
+
+    /// Bytes currently allocated.
+    pub fn in_use(&self) -> u64 {
+        self.in_use
+    }
+
+    /// High-water mark.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Fraction of capacity in use, in `[0, 1]`.
+    pub fn pressure(&self) -> f64 {
+        if self.capacity == 0 {
+            1.0
+        } else {
+            self.in_use as f64 / self.capacity as f64
+        }
+    }
+
+    /// Number of failed allocations.
+    pub fn oom_events(&self) -> u64 {
+        self.oom_events
+    }
+
+    /// Bytes attributed to one label.
+    pub fn labelled(&self, label: &str) -> u64 {
+        self.by_label.get(label).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(label, bytes)` attribution, sorted by label.
+    pub fn breakdown(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.by_label.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+}
+
+/// Bytes in one mebibyte.
+pub const MIB: u64 = 1 << 20;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free_balance() {
+        let mut m = MemoryModel::new(1000);
+        m.alloc("a", 400).unwrap();
+        m.alloc("b", 500).unwrap();
+        assert_eq!(m.in_use(), 900);
+        assert_eq!(m.peak(), 900);
+        m.free("a", 400);
+        assert_eq!(m.in_use(), 500);
+        assert_eq!(m.peak(), 900);
+        assert_eq!(m.labelled("b"), 500);
+        assert_eq!(m.labelled("a"), 0);
+    }
+
+    #[test]
+    fn oom_is_reported_and_counted() {
+        let mut m = MemoryModel::new(100);
+        m.alloc("x", 90).unwrap();
+        let err = m.alloc("y", 20).unwrap_err();
+        assert_eq!(err.requested, 20);
+        assert_eq!(err.in_use, 90);
+        assert_eq!(err.capacity, 100);
+        assert_eq!(m.oom_events(), 1);
+        // Failed allocation does not change usage.
+        assert_eq!(m.in_use(), 90);
+        assert!(err.to_string().contains("out of memory"));
+    }
+
+    #[test]
+    fn over_free_saturates() {
+        let mut m = MemoryModel::new(100);
+        m.alloc("x", 50).unwrap();
+        m.free("x", 80);
+        assert_eq!(m.in_use(), 0);
+        m.free("never-allocated", 10);
+        assert_eq!(m.in_use(), 0);
+    }
+
+    #[test]
+    fn pressure_fraction() {
+        let mut m = MemoryModel::new(200);
+        assert_eq!(m.pressure(), 0.0);
+        m.alloc("x", 100).unwrap();
+        assert!((m.pressure() - 0.5).abs() < 1e-9);
+        assert_eq!(MemoryModel::new(0).pressure(), 1.0);
+    }
+
+    #[test]
+    fn gib_constructor() {
+        let m = MemoryModel::with_gib(32);
+        assert_eq!(m.capacity(), 32 * (1u64 << 30));
+    }
+
+    #[test]
+    fn breakdown_is_sorted() {
+        let mut m = MemoryModel::new(1000);
+        m.alloc("b", 1).unwrap();
+        m.alloc("a", 2).unwrap();
+        let labels: Vec<&str> = m.breakdown().map(|(l, _)| l).collect();
+        assert_eq!(labels, vec!["a", "b"]);
+    }
+}

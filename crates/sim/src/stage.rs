@@ -1,0 +1,223 @@
+//! SEDA-like serial stages.
+//!
+//! Cassandra processes gossip on a single-threaded stage; when a
+//! scale-dependent computation blocks that stage, queued heartbeats go
+//! unprocessed and peers get convicted — the core mechanism of the bugs in
+//! §2. [`Stage`] models a serial work queue: at most one item is being
+//! processed at a time, and the queueing delay of each item is recorded as
+//! the stage's *event lateness* (§6/§8's colocation-bottleneck metric).
+
+use std::collections::VecDeque;
+
+use crate::metrics::Histogram;
+use crate::time::{SimDuration, SimTime};
+
+/// A serial work queue with lateness accounting.
+#[derive(Clone, Debug)]
+pub struct Stage<T> {
+    queue: VecDeque<(SimTime, T)>,
+    busy: bool,
+    enqueued: u64,
+    processed: u64,
+    lateness: Histogram,
+    max_depth: usize,
+}
+
+impl<T> Default for Stage<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Stage<T> {
+    /// Creates an empty, idle stage.
+    pub fn new() -> Self {
+        Stage {
+            queue: VecDeque::new(),
+            busy: false,
+            enqueued: 0,
+            processed: 0,
+            lateness: Histogram::new(),
+            max_depth: 0,
+        }
+    }
+
+    /// Enqueues an item at time `now`.
+    pub fn push(&mut self, now: SimTime, item: T) {
+        self.queue.push_back((now, item));
+        self.enqueued += 1;
+        self.max_depth = self.max_depth.max(self.queue.len());
+    }
+
+    /// Pushes an item to the *front* of the queue (priority admission,
+    /// used by the deterministic replayer's order enforcement).
+    pub fn push_front(&mut self, now: SimTime, item: T) {
+        self.queue.push_front((now, item));
+        self.enqueued += 1;
+        self.max_depth = self.max_depth.max(self.queue.len());
+    }
+
+    /// If the stage is idle and work is queued, dequeues the next item,
+    /// marks the stage busy, and records the item's queueing delay.
+    pub fn try_begin(&mut self, now: SimTime) -> Option<T> {
+        if self.busy {
+            return None;
+        }
+        let (enq_at, item) = self.queue.pop_front()?;
+        self.busy = true;
+        self.processed += 1;
+        self.lateness.record(now.since(enq_at));
+        Some(item)
+    }
+
+    /// Marks the current item finished; the stage becomes idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stage was not busy.
+    pub fn finish(&mut self) {
+        assert!(self.busy, "finish() on an idle stage");
+        self.busy = false;
+    }
+
+    /// Removes and returns the first queued item matching `pred`
+    /// (regardless of position). Used by order-enforced replay to pull a
+    /// specific message out of turn. Does not count as lateness.
+    pub fn take_matching<F: FnMut(&T) -> bool>(&mut self, mut pred: F) -> Option<T> {
+        let pos = self.queue.iter().position(|(_, item)| pred(item))?;
+        Some(self.queue.remove(pos).expect("position valid").1)
+    }
+
+    /// Whether an item is currently being processed.
+    pub fn is_busy(&self) -> bool {
+        self.busy
+    }
+
+    /// Number of queued (not yet started) items.
+    pub fn depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Deepest the queue has ever been.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Total items enqueued.
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Total items whose processing began.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Queueing-delay histogram (event lateness).
+    pub fn lateness(&self) -> &Histogram {
+        &self.lateness
+    }
+
+    /// Peeks at the next queued item.
+    pub fn peek(&self) -> Option<&T> {
+        self.queue.front().map(|(_, item)| item)
+    }
+
+    /// Drops all queued items, returning how many were discarded.
+    pub fn clear(&mut self) -> usize {
+        let n = self.queue.len();
+        self.queue.clear();
+        n
+    }
+}
+
+/// Convenience alias: the maximum lateness a stage has observed.
+pub fn max_lateness<T>(stage: &Stage<T>) -> SimDuration {
+    stage.lateness().max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at_ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn serial_processing_one_at_a_time() {
+        let mut st = Stage::new();
+        st.push(SimTime::ZERO, "a");
+        st.push(SimTime::ZERO, "b");
+        assert_eq!(st.try_begin(SimTime::ZERO), Some("a"));
+        // Busy: no second item until finish.
+        assert_eq!(st.try_begin(SimTime::ZERO), None);
+        st.finish();
+        assert_eq!(st.try_begin(SimTime::ZERO), Some("b"));
+        st.finish();
+        assert_eq!(st.try_begin(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn lateness_measures_queueing_delay() {
+        let mut st = Stage::new();
+        st.push(SimTime::ZERO, 1u32);
+        st.push(SimTime::ZERO, 2u32);
+        st.try_begin(at_ms(0));
+        st.finish();
+        st.try_begin(at_ms(500));
+        assert_eq!(st.lateness().max(), SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn depth_statistics() {
+        let mut st = Stage::new();
+        for i in 0..5 {
+            st.push(SimTime::ZERO, i);
+        }
+        assert_eq!(st.depth(), 5);
+        assert_eq!(st.max_depth(), 5);
+        st.try_begin(SimTime::ZERO);
+        assert_eq!(st.depth(), 4);
+        assert_eq!(st.max_depth(), 5);
+        assert_eq!(st.enqueued(), 5);
+        assert_eq!(st.processed(), 1);
+    }
+
+    #[test]
+    fn take_matching_pulls_out_of_order() {
+        let mut st = Stage::new();
+        st.push(SimTime::ZERO, 1u32);
+        st.push(SimTime::ZERO, 2u32);
+        st.push(SimTime::ZERO, 3u32);
+        assert_eq!(st.take_matching(|&x| x == 2), Some(2));
+        assert_eq!(st.take_matching(|&x| x == 9), None);
+        assert_eq!(st.depth(), 2);
+        assert_eq!(st.try_begin(SimTime::ZERO), Some(1));
+    }
+
+    #[test]
+    fn push_front_takes_priority() {
+        let mut st = Stage::new();
+        st.push(SimTime::ZERO, 1u32);
+        st.push_front(SimTime::ZERO, 0u32);
+        assert_eq!(st.try_begin(SimTime::ZERO), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "idle stage")]
+    fn finish_when_idle_panics() {
+        let mut st: Stage<u32> = Stage::new();
+        st.finish();
+    }
+
+    #[test]
+    fn clear_discards_queue() {
+        let mut st = Stage::new();
+        st.push(SimTime::ZERO, 1u32);
+        st.push(SimTime::ZERO, 2u32);
+        assert_eq!(st.clear(), 2);
+        assert_eq!(st.depth(), 0);
+        assert!(st.peek().is_none());
+    }
+}

@@ -1,0 +1,74 @@
+//! Reproduce bug CASSANDRA-3831 across scales (the paper's Figure 3a).
+//!
+//! Decommissioning nodes triggers the cubic pending-range calculation
+//! inline on the gossip stage; at 200+ nodes the calculation starves
+//! heartbeat processing and the cluster flaps. This example sweeps the
+//! cluster size and shows (a) the symptom only surfaces at large N and
+//! (b) SC+PIL reproduces it on "one machine" where basic colocation
+//! wildly overshoots.
+//!
+//! ```text
+//! cargo run --release --example reproduce_c3831            # fast demo sweep
+//! cargo run --release --example reproduce_c3831 -- --full  # the paper's 32..256
+//! ```
+
+use scalecheck::{compare_sweeps, memoize, replay, run_colo, run_real, FlapSweep, COLO_CORES};
+use scalecheck_cluster::ScenarioConfig;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let scales: Vec<usize> = if full {
+        vec![32, 64, 128, 256]
+    } else {
+        vec![32, 64, 96]
+    };
+    println!("== Reproducing CASSANDRA-3831 (decommission flapping) ==");
+    println!("scales: {scales:?} (use --full for the paper's 32..256)\n");
+
+    let mut real_flaps = Vec::new();
+    let mut colo_flaps = Vec::new();
+    let mut pil_flaps = Vec::new();
+    for &n in &scales {
+        let cfg = ScenarioConfig::c3831(n, 1);
+        eprint!("N={n:>4}: real...");
+        let real = run_real(&cfg);
+        eprint!(" colo...");
+        let colo = run_colo(&cfg, COLO_CORES);
+        eprint!(" sc+pil...");
+        let memo = memoize(&cfg, COLO_CORES);
+        let pil = replay(&cfg, COLO_CORES, &memo);
+        eprintln!(" done");
+        println!(
+            "N={n:>4}: real={:>8} colo={:>8} sc+pil={:>8}",
+            real.total_flaps, colo.total_flaps, pil.total_flaps
+        );
+        real_flaps.push(real.total_flaps);
+        colo_flaps.push(colo.total_flaps);
+        pil_flaps.push(pil.total_flaps);
+    }
+
+    let real = FlapSweep::new(scales.clone(), real_flaps);
+    let colo = FlapSweep::new(scales.clone(), colo_flaps);
+    let pil = FlapSweep::new(scales.clone(), pil_flaps);
+    let onset_threshold = 500;
+
+    println!();
+    match real.onset(onset_threshold) {
+        Some(n) => println!("symptom onset in real-scale testing: N={n}"),
+        None => println!(
+            "no symptom below N={} — exactly the paper's point: small-scale \
+             testing is not enough (run with --full)",
+            scales.last().unwrap()
+        ),
+    }
+    let pil_cmp = compare_sweeps(&real, &pil, onset_threshold);
+    let colo_cmp = compare_sweeps(&real, &colo, onset_threshold);
+    println!(
+        "SC+PIL vs real: mean error {:.2}, same onset: {}",
+        pil_cmp.mean_error, pil_cmp.same_onset
+    );
+    println!(
+        "Colo   vs real: mean error {:.2}, same onset: {}",
+        colo_cmp.mean_error, colo_cmp.same_onset
+    );
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Regenerates every paper artifact into results/.
+# Usage: scripts/run_experiments.sh [--quick]
+# --quick caps Figure 3 sweeps at N=96 for a fast smoke pass.
+set -u
+cd "$(dirname "$0")/.."
+SCALES="32,64,128,256"
+if [ "${1:-}" = "--quick" ]; then SCALES="32,64,96"; fi
+BIN=target/release
+cargo build --workspace --release || exit 1
+
+run() {
+  name=$1; shift
+  echo "=== $name ==="
+  "$@" >"results/$name.txt" 2>"results/$name.log"
+  echo "    -> results/$name.txt"
+}
+
+run fig3a_c3831 "$BIN/fig3_flaps" --bug c3831 --scales "$SCALES"
+run fig3b_c3881 "$BIN/fig3_flaps" --bug c3881 --scales "$SCALES"
+run fig3c_c5456 "$BIN/fig3_flaps" --bug c5456 --scales "$SCALES"
+run fig1_testtime "$BIN/fig1_testtime"
+run tbl_memo_vs_replay "$BIN/tbl_memo_vs_replay" --nodes 256
+run tbl_colocation_limit "$BIN/tbl_colocation_limit"
+run tbl_complexity "$BIN/tbl_complexity"
+run tbl_bugstudy "$BIN/tbl_bugstudy"
+run tbl_finder "$BIN/tbl_finder"
+run tbl_memory "$BIN/tbl_memory"
+run tbl_statespace "$BIN/tbl_statespace"
+run tbl_fix_ablation "$BIN/tbl_fix_ablation" --nodes 256
+run tbl_baselines "$BIN/tbl_baselines" --target 256
+run ext_hdfs "$BIN/ext_hdfs"
+run fig_c6127 "$BIN/fig_c6127"
+echo "all experiments done"

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Seed-variance spot check for the headline Figure 3a point (N=256):
+# Real and SC+PIL flap counts across three seeds.
+set -u
+cd "$(dirname "$0")/.."
+BIN=target/release
+for seed in 1 2 3; do
+  echo "=== seed $seed ==="
+  "$BIN/diag_run" --bug c3831 --nodes 256 --mode real --seed "$seed" | grep -E '^flaps|^duration'
+  "$BIN/diag_run" --bug c3831 --nodes 256 --mode pil --seed "$seed" 2>/dev/null | grep -E '^flaps|^duration'
+done

@@ -1,0 +1,211 @@
+//! `scalecheck` — the command-line face of the reproduction.
+//!
+//! ```text
+//! scalecheck-cli run        --bug c3831 --nodes 64 --mode real|colo|pil
+//! scalecheck-cli memoize    --bug c3831 --nodes 64 --db memo.json
+//! scalecheck-cli replay     --bug c3831 --nodes 64 --db memo.json
+//! scalecheck-cli finder
+//! scalecheck-cli bugstudy
+//! scalecheck-cli statespace --nodes 256 --vnodes 256
+//! ```
+//!
+//! The figure/table regeneration binaries live in `scalecheck-bench`;
+//! this tool is the day-to-day interface: run one scenario, persist a
+//! memoization database, replay against it, or query the analyses.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use scalecheck::{memoize, replay, run_colo, run_real, COLO_CORES};
+use scalecheck_cluster::{PendingWire, RunReport, ScenarioConfig};
+use scalecheck_memo::MemoDb;
+use scalecheck_pilfinder::{analyze, cluster_protocol_model, FinderConfig};
+
+fn flag(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn scenario(args: &[String]) -> ScenarioConfig {
+    let bug = flag(args, "--bug").unwrap_or_else(|| "c3831".into());
+    let nodes: usize = flag(args, "--nodes")
+        .map(|s| s.parse().expect("--nodes must be an integer"))
+        .unwrap_or(64);
+    let seed: u64 = flag(args, "--seed")
+        .map(|s| s.parse().expect("--seed must be an integer"))
+        .unwrap_or(1);
+    match bug.as_str() {
+        "c3831" => ScenarioConfig::c3831(nodes, seed),
+        "c3881" => ScenarioConfig::c3881(nodes, seed),
+        "c5456" => ScenarioConfig::c5456(nodes, seed),
+        "c6127" => ScenarioConfig::c6127(nodes, seed),
+        other => {
+            eprintln!("unknown bug '{other}' (c3831|c3881|c5456|c6127)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn print_report(label: &str, r: &RunReport) {
+    println!("{label}:");
+    println!("  flaps           : {}", r.total_flaps);
+    println!(
+        "  duration        : {:.0}s (quiesced: {})",
+        r.duration.as_secs_f64(),
+        r.quiesced
+    );
+    println!(
+        "  messages        : {} sent, {} delivered, {} dropped",
+        r.messages_sent, r.messages_delivered, r.messages_dropped
+    );
+    println!(
+        "  calculations    : {} ({} executed, max {:.2}s)",
+        r.calc.invocations,
+        r.calc.executed,
+        r.calc.max_compute.as_secs_f64()
+    );
+    println!(
+        "  memo            : hit-rate {:.1}% ({} hits / {} idx / {} miss)",
+        r.memo.replay_hit_rate() * 100.0,
+        r.memo.hits,
+        r.memo.index_fallbacks,
+        r.memo.misses
+    );
+    println!(
+        "  availability    : {:.2}% of {} client ops failed",
+        r.unavailability() * 100.0,
+        r.client_ops_attempted
+    );
+    println!(
+        "  cpu/lateness    : {:.0}% peak util, p99 stage lateness {}",
+        r.cpu_utilization * 100.0,
+        r.p99_stage_lateness
+    );
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let cfg = scenario(args);
+    let mode = flag(args, "--mode").unwrap_or_else(|| "real".into());
+    let report = match mode.as_str() {
+        "real" => run_real(&cfg),
+        "colo" => run_colo(&cfg, COLO_CORES),
+        "pil" => {
+            let memo = memoize(&cfg, COLO_CORES);
+            replay(&cfg, COLO_CORES, &memo)
+        }
+        other => {
+            eprintln!("unknown mode '{other}' (real|colo|pil)");
+            return ExitCode::from(2);
+        }
+    };
+    print_report(&format!("{mode} run"), &report);
+    ExitCode::SUCCESS
+}
+
+fn cmd_memoize(args: &[String]) -> ExitCode {
+    let cfg = scenario(args);
+    let db_path = flag(args, "--db").unwrap_or_else(|| "memo.json".into());
+    let memo = memoize(&cfg, COLO_CORES);
+    print_report("memoization (colo) run", &memo.report);
+    match memo.db.save(Path::new(&db_path)) {
+        Ok(()) => {
+            println!("  database        : {} records -> {db_path}", memo.db.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("failed to save database: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_replay(args: &[String]) -> ExitCode {
+    let cfg = scenario(args);
+    let db_path = flag(args, "--db").unwrap_or_else(|| "memo.json".into());
+    let db: MemoDb<PendingWire> = match MemoDb::load(Path::new(&db_path)) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("failed to load database '{db_path}': {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut rcfg = cfg
+        .with_deployment(scalecheck_cluster::DeploymentMode::PilReplay { cores: COLO_CORES })
+        .with_calc_io(scalecheck_cluster::CalcIo::Replay);
+    rcfg.order_enforcement = false;
+    let (report, _, _) = scalecheck_cluster::run_scenario_with_db(&rcfg, Some(db), None);
+    print_report("PIL replay", &report);
+    ExitCode::SUCCESS
+}
+
+fn cmd_finder() -> ExitCode {
+    let report = analyze(&cluster_protocol_model(), FinderConfig::default());
+    println!("offending functions (most expensive first):");
+    for name in &report.offending {
+        let f = &report.functions[name];
+        println!(
+            "  {:<32} {:<14} PIL-safe: {}",
+            f.name,
+            f.degree.to_string(),
+            f.pil_safe
+        );
+    }
+    println!("instrumentation plan: {:?}", report.instrumentation_plan);
+    ExitCode::SUCCESS
+}
+
+fn cmd_bugstudy() -> ExitCode {
+    let s = scalecheck_bugstudy::stats(&scalecheck_bugstudy::bugs());
+    println!("{} bugs studied", s.total);
+    for (sys, n) in &s.per_system {
+        println!("  {sys:<12} {n}");
+    }
+    println!(
+        "root causes: {:.0}% CPU-intensive, {:.0}% serialized O(N)",
+        s.cpu_fraction * 100.0,
+        s.serialized_fraction * 100.0
+    );
+    println!(
+        "fix time: mean {:.0} days, max {} days",
+        s.mean_days_to_fix, s.max_days_to_fix
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_statespace(args: &[String]) -> ExitCode {
+    let n: u64 = flag(args, "--nodes")
+        .map(|s| s.parse().unwrap())
+        .unwrap_or(256);
+    let p: u64 = flag(args, "--vnodes")
+        .map(|s| s.parse().unwrap())
+        .unwrap_or(256);
+    println!(
+        "ordering space at N={n}, P={p}: ~10^{:.0} possibilities ({} digits)",
+        scalecheck_memo::log10_ordering_space(n, p),
+        scalecheck_memo::ordering_space_digits(n, p)
+    );
+    ExitCode::SUCCESS
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: scalecheck-cli <run|memoize|replay|finder|bugstudy|statespace> \
+         [--bug c3831|c3881|c5456|c6127] [--nodes N] [--seed S] [--mode real|colo|pil] \
+         [--db memo.json]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("memoize") => cmd_memoize(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("finder") => cmd_finder(),
+        Some("bugstudy") => cmd_bugstudy(),
+        Some("statespace") => cmd_statespace(&args[1..]),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,15 @@
+//! Workspace root crate: re-exports the public surface of the ScaleCheck
+//! reproduction so examples and integration tests have one import point.
+
+#![forbid(unsafe_code)]
+
+pub use scalecheck;
+pub use scalecheck_bugstudy as bugstudy;
+pub use scalecheck_cluster as cluster;
+pub use scalecheck_gossip as gossip;
+pub use scalecheck_hdfslike as hdfslike;
+pub use scalecheck_memo as memo;
+pub use scalecheck_net as net;
+pub use scalecheck_pilfinder as pilfinder;
+pub use scalecheck_ring as ring;
+pub use scalecheck_sim as sim;

@@ -1,0 +1,140 @@
+//! Failure injection: the harness must stay well-behaved when the
+//! network misbehaves, nodes crash from memory pressure, or the memo
+//! database is incomplete.
+
+use scalecheck::{memoize, replay_ordered, run_real, COLO_CORES};
+use scalecheck_cluster::{
+    run_scenario, AllocStrategy, CalcIo, DeploymentMode, ScenarioConfig, Workload,
+};
+use scalecheck_sim::SimDuration;
+
+fn base(n: usize, seed: u64) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::c3831(n, seed);
+    cfg.workload = Workload::Decommission {
+        count: 1,
+        gap: SimDuration::from_secs(30),
+    };
+    cfg.rescale_window = SimDuration::from_secs(30);
+    cfg.workload_end = SimDuration::from_secs(100);
+    cfg.max_duration = SimDuration::from_secs(900);
+    cfg
+}
+
+// Message loss is injected by tweaking the network config through the
+// cluster runner; the runner reads `NetworkConfig::default()`, so the
+// loss tests go through the network crate directly plus an end-to-end
+// smoke via drop-heavy gossip in small clusters.
+#[test]
+fn gossip_converges_without_loss_baseline() {
+    let cfg = base(12, 1);
+    let r = run_real(&cfg);
+    assert!(r.quiesced);
+    assert_eq!(r.messages_dropped, 0);
+    assert_eq!(r.total_flaps, 0);
+}
+
+#[test]
+fn naive_rebalance_allocation_crashes_nodes_under_colocation() {
+    // §6: the rebalance protocol over-allocates (N-1)*P*1.3MB; on a
+    // 32-GB colocation box that is fatal, and the §8 symptom is nodes
+    // crashing with OOM.
+    let mut cfg = base(64, 2);
+    cfg.vnodes = 8;
+    cfg.workload = Workload::ScaleOut {
+        count: 1,
+        gap: SimDuration::from_secs(30),
+    };
+    cfg.memory.rebalance_alloc = Some(AllocStrategy::Naive);
+    cfg.memory.single_process = true;
+    let cfg = cfg
+        .with_deployment(DeploymentMode::Colo { cores: 16 })
+        .with_calc_io(CalcIo::Execute);
+    let r = run_scenario(&cfg);
+    assert!(r.oom_events > 0, "naive allocation must hit the wall");
+    assert!(r.crashed_nodes > 0, "OOM crashes nodes (S8)");
+
+    // The frugal strategy survives the identical workload.
+    let mut frugal = cfg.clone();
+    frugal.memory.rebalance_alloc = Some(AllocStrategy::Frugal);
+    let r2 = run_scenario(&frugal);
+    assert_eq!(r2.oom_events, 0);
+    assert_eq!(r2.crashed_nodes, 0);
+}
+
+#[test]
+fn crashed_nodes_get_convicted_by_the_rest() {
+    // A node that crashes goes silent without announcing Left; the
+    // survivors must convict it (real flaps, not clean departures).
+    let mut cfg = base(24, 3);
+    cfg.vnodes = 8;
+    cfg.workload = Workload::ScaleOut {
+        count: 1,
+        gap: SimDuration::from_secs(30),
+    };
+    cfg.memory.rebalance_alloc = Some(AllocStrategy::Naive);
+    cfg.memory.single_process = true;
+    // Capacity sized so that a couple of rebalance allocations blow up.
+    cfg.memory.machine_capacity = 1 << 30;
+    let cfg = cfg
+        .with_deployment(DeploymentMode::Colo { cores: 16 })
+        .with_calc_io(CalcIo::Execute);
+    let r = run_scenario(&cfg);
+    assert!(r.crashed_nodes > 0);
+    assert!(
+        r.total_flaps as usize >= (cfg.n_nodes - r.crashed_nodes as usize) / 2,
+        "survivors should convict the crashed nodes: {} flaps, {} crashed",
+        r.total_flaps,
+        r.crashed_nodes
+    );
+}
+
+#[test]
+fn replay_with_truncated_db_falls_back_and_completes() {
+    // Delete half the memoized records: the replay must fall back
+    // (index or re-execution), complete, and report the damage.
+    let cfg = base(12, 4);
+    let memo = memoize(&cfg, COLO_CORES);
+    // Drop every other record.
+    let mut damaged = memo.db.clone();
+    let keys: Vec<_> = memo.db.iter_records().map(|(f, d, _)| (f, d)).collect();
+    for (f, d) in keys.iter().step_by(2) {
+        assert!(damaged.remove(*f, *d));
+    }
+
+    let mut rcfg = cfg
+        .clone()
+        .with_deployment(DeploymentMode::PilReplay { cores: COLO_CORES })
+        .with_calc_io(CalcIo::Replay);
+    rcfg.order_enforcement = true;
+    let (r, _, _) =
+        scalecheck_cluster::run_scenario_with_db(&rcfg, Some(damaged), Some(memo.order.clone()));
+    assert!(r.quiesced, "replay must not wedge on missing records");
+    assert!(
+        r.memo.misses + r.memo.index_fallbacks > 0,
+        "damage must be visible in the stats: {:?}",
+        r.memo
+    );
+}
+
+#[test]
+fn order_log_from_wrong_run_is_survivable() {
+    // Replaying with another seed's order log: messages will not match
+    // the recorded order; the hold timeout must keep the run moving.
+    let cfg = base(12, 5);
+    let memo = memoize(&cfg, COLO_CORES);
+    let other = memoize(&base(12, 99), COLO_CORES);
+    let pil = replay_ordered(
+        &cfg,
+        COLO_CORES,
+        &scalecheck::MemoArtifacts {
+            db: memo.db.clone(),
+            order: other.order.clone(),
+            report: memo.report.clone(),
+        },
+    );
+    assert!(pil.quiesced, "mismatched order log must not deadlock");
+    assert!(
+        pil.order_out_of_log > 0 || pil.order_forced_releases > 0,
+        "divergence must be reported"
+    );
+}

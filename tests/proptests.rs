@@ -1,0 +1,331 @@
+//! Property-based tests over the core substrates: the invariants the
+//! whole reproduction leans on.
+
+use proptest::prelude::*;
+
+use scalecheck_memo::{digest_bytes, FnId, MemoDb, OrderDecision, OrderRecorder};
+use scalecheck_ring::{
+    all_calculators, NodeId, NodeStatus, OpCounter, PendingRangeCalculator, RingTable, Token,
+    TopologyChange,
+};
+use scalecheck_sim::{ps_completions, CtxSwitchModel, DetRng, Machine, SimDuration, SimTime};
+
+/// Builds a ring from (node, token) pairs with unique tokens.
+fn ring_from(entries: &[(u32, Vec<u64>)]) -> RingTable {
+    let mut ring = RingTable::new(3);
+    let mut used = std::collections::HashSet::new();
+    for (i, (id, tokens)) in entries.iter().enumerate() {
+        let toks: Vec<Token> = tokens
+            .iter()
+            .filter(|t| used.insert(**t))
+            .map(|&t| Token(t))
+            .collect();
+        if toks.is_empty() {
+            continue;
+        }
+        let _ = ring.add_node(NodeId(*id + i as u32 * 10_000), NodeStatus::Normal, toks);
+    }
+    ring
+}
+
+fn topology_strategy() -> impl Strategy<Value = Vec<(u32, Vec<u64>)>> {
+    prop::collection::vec(
+        (0u32..1000, prop::collection::vec(any::<u64>(), 1..4)),
+        2..10,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every calculator version produces identical pending ranges on
+    /// arbitrary topologies — the semantic-preserving-fix invariant.
+    #[test]
+    fn calculators_agree_on_random_topologies(
+        entries in topology_strategy(),
+        leaver_idx in 0usize..8,
+        join_tokens in prop::collection::vec(any::<u64>(), 1..4),
+    ) {
+        let ring = ring_from(&entries);
+        let nodes: Vec<NodeId> = ring.iter().map(|(id, _)| id).collect();
+        prop_assume!(nodes.len() >= 2);
+        let mut changes = vec![TopologyChange::Leave {
+            node: nodes[leaver_idx % nodes.len()],
+        }];
+        // Also join a fresh node with tokens not already present.
+        let fresh: Vec<Token> = join_tokens
+            .iter()
+            .map(|&t| Token(t))
+            .filter(|t| ring.owner_of_token(*t).is_none())
+            .collect();
+        if !fresh.is_empty() {
+            changes.push(TopologyChange::Join {
+                node: NodeId(999_999),
+                tokens: fresh,
+            });
+        }
+        let mut outs = Vec::new();
+        for calc in all_calculators() {
+            let mut counter = OpCounter::new();
+            outs.push(calc.calculate(&ring, &changes, &mut counter));
+        }
+        for w in outs.windows(2) {
+            prop_assert_eq!(&w[0], &w[1]);
+        }
+    }
+
+    /// Pending endpoints never include nodes that are leaving the ring.
+    #[test]
+    fn pending_never_includes_the_leaver(
+        entries in topology_strategy(),
+        leaver_idx in 0usize..8,
+    ) {
+        let ring = ring_from(&entries);
+        let nodes: Vec<NodeId> = ring.iter().map(|(id, _)| id).collect();
+        prop_assume!(nodes.len() >= 2);
+        let leaver = nodes[leaver_idx % nodes.len()];
+        let changes = vec![TopologyChange::Leave { node: leaver }];
+        let mut counter = OpCounter::new();
+        let out = scalecheck_ring::V3VnodeAware
+            .calculate(&ring, &changes, &mut counter);
+        for (_, pend) in out {
+            prop_assert!(!pend.contains(&leaver));
+        }
+    }
+
+    /// The future token map is sorted, deduplicated, and excludes
+    /// departed nodes.
+    #[test]
+    fn future_map_invariants(entries in topology_strategy(), leaver_idx in 0usize..8) {
+        let ring = ring_from(&entries);
+        let nodes: Vec<NodeId> = ring.iter().map(|(id, _)| id).collect();
+        prop_assume!(!nodes.is_empty());
+        let leaver = nodes[leaver_idx % nodes.len()];
+        let map = ring.future_token_map(&[TopologyChange::Leave { node: leaver }]);
+        for w in map.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "sorted and unique");
+        }
+        prop_assert!(map.iter().all(|&(_, n)| n != leaver));
+    }
+
+    /// Memo DB round-trips arbitrary content through JSON.
+    #[test]
+    fn memo_db_json_round_trip(
+        records in prop::collection::vec((any::<u64>(), any::<u32>(), 0u64..1_000_000), 0..20),
+    ) {
+        let mut db: MemoDb<Vec<u8>> = MemoDb::new();
+        for (input, node, dur) in &records {
+            db.record(
+                *node,
+                FnId(1),
+                digest_bytes(&input.to_le_bytes()),
+                input.to_le_bytes().to_vec(),
+                SimDuration::from_nanos(*dur),
+            );
+        }
+        let json = db.to_json().unwrap();
+        let mut back: MemoDb<Vec<u8>> = MemoDb::from_json(&json).unwrap();
+        prop_assert_eq!(back.len(), db.len());
+        for (input, _, dur) in &records {
+            let d = digest_bytes(&input.to_le_bytes());
+            let rec = back.lookup(FnId(1), d);
+            prop_assert!(rec.is_some());
+            let rec = rec.unwrap();
+            prop_assert_eq!(rec.output, input.to_le_bytes().to_vec());
+            // Last write wins; duration belongs to *a* record of this input.
+            prop_assert!(rec.duration.as_nanos() <= 1_000_000);
+            let _ = dur;
+        }
+    }
+
+    /// The order enforcer replays any recorded sequence in exactly the
+    /// recorded order, regardless of the arrival permutation.
+    #[test]
+    fn order_enforcer_restores_recorded_order(
+        keys in prop::collection::vec(any::<u64>(), 1..30),
+        seed in any::<u64>(),
+    ) {
+        let mut unique = keys.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        let mut rec = OrderRecorder::new();
+        for &k in &unique {
+            rec.record(0, k);
+        }
+        let mut enf = rec.into_enforcer();
+        // Arrivals in a random permutation; held messages wait.
+        let mut arrivals = unique.clone();
+        let mut rng = DetRng::new(seed);
+        rng.shuffle(&mut arrivals);
+        let mut held: Vec<u64> = Vec::new();
+        let mut processed: Vec<u64> = Vec::new();
+        for k in arrivals {
+            match enf.classify(0, k) {
+                OrderDecision::ProcessNow => {
+                    enf.advance(0, k);
+                    processed.push(k);
+                    // Drain any held messages that are now due.
+                    while let Some(exp) = enf.expected(0) {
+                        let Some(pos) = held.iter().position(|&h| h == exp) else {
+                            break;
+                        };
+                        let k2 = held.remove(pos);
+                        enf.advance(0, k2);
+                        processed.push(k2);
+                    }
+                }
+                OrderDecision::HoldForLater => held.push(k),
+                OrderDecision::NotInLog => processed.push(k),
+            }
+        }
+        prop_assert_eq!(processed, unique);
+        prop_assert!(held.is_empty());
+        prop_assert_eq!(enf.out_of_log(), 0);
+    }
+
+    /// Deterministic RNG: forks are reproducible and shuffles are
+    /// permutations.
+    #[test]
+    fn rng_fork_reproducible(seed in any::<u64>(), stream in any::<u64>()) {
+        let root = DetRng::new(seed);
+        let mut a = root.fork(stream);
+        let mut b = root.fork(stream);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// FIFO-cores completion times are never earlier than an ideal
+    /// processor-sharing schedule's *start* bound and the machine never
+    /// loses work.
+    #[test]
+    fn fifo_machine_conserves_work(
+        demands in prop::collection::vec(1u64..1_000, 1..40),
+        cores in 1usize..8,
+    ) {
+        let mut machine = Machine::new(cores, CtxSwitchModel::FREE);
+        let total: u64 = demands.iter().sum();
+        let mut last = SimTime::ZERO;
+        for &d in &demands {
+            let g = machine.submit(SimTime::ZERO, SimDuration::from_nanos(d));
+            last = last.max(g.finish);
+        }
+        // Work conservation: makespan is between total/cores and total.
+        prop_assert!(last.as_nanos() >= total / cores as u64);
+        prop_assert!(last.as_nanos() <= total);
+        // Processor sharing finishes everything by `total/cores` too.
+        let tasks: Vec<(SimTime, SimDuration)> = demands
+            .iter()
+            .map(|&d| (SimTime::ZERO, SimDuration::from_nanos(d)))
+            .collect();
+        let ps = ps_completions(&tasks, cores);
+        let ps_last = ps.iter().max().unwrap().as_nanos();
+        prop_assert!(ps_last >= total / cores as u64);
+        prop_assert!(ps_last <= total + demands.len() as u64);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Gossip convergence: after enough random pairwise exchanges,
+    /// every node's endpoint map agrees on every peer's freshest state.
+    #[test]
+    fn gossip_rounds_converge_views(seed in any::<u64>(), n in 3usize..10) {
+        use scalecheck_gossip::Gossiper;
+        use scalecheck_gossip::Peer;
+
+        let mut nodes: Vec<Gossiper<u32>> = (0..n)
+            .map(|i| Gossiper::new(Peer(i as u32), 1, i as u32 * 100))
+            .collect();
+        for g in nodes.iter_mut() {
+            g.beat();
+        }
+        let mut rng = DetRng::new(seed);
+        // Random pairwise full rounds; 6*n*log(n) rounds is far more
+        // than gossip needs to converge.
+        let rounds = 6 * n * (usize::BITS - n.leading_zeros()) as usize;
+        for _ in 0..rounds {
+            let a = rng.gen_index(n);
+            let mut b = rng.gen_index(n);
+            if a == b {
+                b = (b + 1) % n;
+            }
+            // SYN a->b, ACK b->a, ACK2 a->b.
+            let syn = nodes[a].make_syn();
+            let ack = nodes[b].handle_syn(&syn);
+            let (_, ack2) = nodes[a].handle_ack(&ack);
+            nodes[b].handle_ack2(&ack2);
+        }
+        // Everyone knows everyone's app payload.
+        for g in &nodes {
+            for i in 0..n {
+                let st = g.endpoint(Peer(i as u32));
+                prop_assert!(st.is_some(), "missing peer {i}");
+                prop_assert_eq!(st.unwrap().app, i as u32 * 100);
+            }
+        }
+    }
+
+    /// The event engine fires events in exactly nondecreasing time
+    /// order regardless of scheduling order.
+    #[test]
+    fn engine_fires_in_time_order(times in prop::collection::vec(0u64..1_000_000, 1..100)) {
+        use scalecheck_sim::Engine;
+        let mut engine: Engine<Vec<u64>> = Engine::new(1);
+        for &t in &times {
+            engine.schedule_at(SimTime::from_nanos(t), move |out, ctx| {
+                out.push(ctx.now().as_nanos());
+            });
+        }
+        let mut fired: Vec<u64> = Vec::new();
+        engine.run_to_completion(&mut fired);
+        prop_assert_eq!(fired.len(), times.len());
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(fired, sorted);
+    }
+
+    /// φ never decreases while a peer stays silent, and resets after a
+    /// fresh heartbeat.
+    #[test]
+    fn phi_is_monotone_in_silence(beats in 2u64..30, probe_gap in 1u64..50) {
+        use scalecheck_gossip::PhiDetector;
+        let mut d = PhiDetector::cassandra(SimDuration::from_secs(1));
+        for s in 0..beats {
+            d.heartbeat(SimTime::from_secs(s));
+        }
+        let base = SimTime::from_secs(beats);
+        let p1 = d.phi(base);
+        let p2 = d.phi(base + SimDuration::from_secs(probe_gap));
+        let p3 = d.phi(base + SimDuration::from_secs(probe_gap * 2));
+        prop_assert!(p1 <= p2 && p2 <= p3, "{p1} {p2} {p3}");
+        d.heartbeat(base + SimDuration::from_secs(probe_gap * 2));
+        let after = d.phi(base + SimDuration::from_secs(probe_gap * 2));
+        prop_assert!(after <= p1.max(0.01));
+    }
+
+    /// Memory model conservation: any interleaving of allocations and
+    /// frees keeps `in_use` equal to the running ledger and never
+    /// exceeds capacity.
+    #[test]
+    fn memory_model_conserves(ops in prop::collection::vec((any::<bool>(), 1u64..1000), 1..50)) {
+        use scalecheck_sim::MemoryModel;
+        let mut m = MemoryModel::new(16 * 1024);
+        let mut ledger: u64 = 0;
+        for (is_alloc, size) in ops {
+            if is_alloc {
+                if m.alloc("x", size).is_ok() {
+                    ledger += size;
+                }
+            } else {
+                let take = size.min(ledger);
+                m.free("x", take);
+                ledger -= take;
+            }
+            prop_assert_eq!(m.in_use(), ledger);
+            prop_assert!(m.in_use() <= m.capacity());
+            prop_assert!(m.peak() >= m.in_use());
+        }
+    }
+}
