@@ -1,9 +1,32 @@
+//! Debug helper: run the HDFS-like bug scenario once and dump the raw
+//! report.
+//!
+//! ```text
+//! cargo run --release -p scalecheck-bench --bin dbg_hdfs -- 192 [--jobs N] [--no-cache]
+//! ```
+
+use scalecheck_bench::{exit_usage, run_sweep, Cell, SweepOptions};
 use scalecheck_hdfslike::{run_hdfs, HdfsConfig};
+
+const USAGE: &str = "usage: dbg_hdfs [N] [--jobs N] [--no-cache]";
+
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(192);
-    let r = run_hdfs(&HdfsConfig::bug(n, 1));
-    println!("{r:#?}");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = SweepOptions::from_args(&args).unwrap_or_else(|e| exit_usage(USAGE, &e));
+    let n: usize = match args.first().filter(|a| !a.starts_with("--")) {
+        None => 192,
+        Some(raw) => raw
+            .parse()
+            .unwrap_or_else(|_| exit_usage(USAGE, &format!("invalid node count '{raw}'"))),
+    };
+    let cfg = HdfsConfig::bug(n, 1);
+    let out = run_sweep(
+        vec![Cell::new(
+            format!("dbg-hdfs N={n}"),
+            ("dbg_hdfs-real", cfg.clone()),
+            move || run_hdfs(&cfg),
+        )],
+        &opts,
+    );
+    println!("{:#?}", out.results[0]);
 }

@@ -4,38 +4,54 @@
 //! cargo run --release -p scalecheck-bench --bin diag_run -- --bug c3831 --nodes 128 --mode real
 //! ```
 
-use scalecheck::{memoize, replay, run_colo, run_real, COLO_CORES};
-use scalecheck_bench::{bug_scenario, flag_value};
+use scalecheck::{CellSpec, ExecMode, COLO_CORES};
+use scalecheck_bench::{
+    exit_usage, flag_value, parse_flag, run_sweep, spec_cell, try_bug_scenario, SweepOptions,
+};
+
+const USAGE: &str = "usage: diag_run [--bug c3831|c3881|c5456|c6127] [--nodes N] \
+[--mode real|colo|pil] [--seed N] [--jobs N] [--no-cache]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let bug = flag_value(&args, "--bug").unwrap_or_else(|| "c3831".to_string());
-    let n: usize = flag_value(&args, "--nodes")
-        .map(|s| s.parse().unwrap())
+    let opts = SweepOptions::from_args(&args).unwrap_or_else(|e| exit_usage(USAGE, &e));
+    let bug = flag_value(&args, "--bug")
+        .unwrap_or_else(|e| exit_usage(USAGE, &e))
+        .unwrap_or_else(|| "c3831".to_string());
+    let n: usize = parse_flag(&args, "--nodes")
+        .unwrap_or_else(|e| exit_usage(USAGE, &e))
         .unwrap_or(64);
-    let mode = flag_value(&args, "--mode").unwrap_or_else(|| "real".to_string());
-    let seed: u64 = flag_value(&args, "--seed")
-        .map(|s| s.parse().unwrap())
+    let mode = flag_value(&args, "--mode")
+        .unwrap_or_else(|e| exit_usage(USAGE, &e))
+        .unwrap_or_else(|| "real".to_string());
+    let seed: u64 = parse_flag(&args, "--seed")
+        .unwrap_or_else(|e| exit_usage(USAGE, &e))
         .unwrap_or(1);
 
-    let cfg = bug_scenario(&bug, n, seed);
-    let r = match mode.as_str() {
-        "real" => run_real(&cfg),
-        "colo" => run_colo(&cfg, COLO_CORES),
-        "pil" => {
-            let memo = memoize(&cfg, COLO_CORES);
-            eprintln!(
-                "memoize: flaps={} dur={:.0}s calc_inv={} recorded={} order_events={}",
-                memo.report.total_flaps,
-                memo.report.duration.as_secs_f64(),
-                memo.report.calc.invocations,
-                memo.db.stats().recorded,
-                memo.order.total(),
-            );
-            replay(&cfg, COLO_CORES, &memo)
-        }
-        other => panic!("unknown mode {other}"),
+    let cfg = try_bug_scenario(&bug, n, seed).unwrap_or_else(|e| exit_usage(USAGE, &e));
+    let exec_mode = match mode.as_str() {
+        "real" => ExecMode::Real,
+        "colo" => ExecMode::Colo { cores: COLO_CORES },
+        "pil" => ExecMode::ScPil {
+            cores: COLO_CORES,
+            ordered: false,
+        },
+        other => exit_usage(
+            USAGE,
+            &format!("unknown mode '{other}' (use real|colo|pil)"),
+        ),
     };
+
+    // One cell: still routed through the sweep so a diagnostic rerun of
+    // an already-swept point is a cache hit.
+    let out = run_sweep(
+        vec![spec_cell(
+            format!("diag {bug} N={n} {}", exec_mode.label()),
+            CellSpec::new(cfg, exec_mode),
+        )],
+        &opts,
+    );
+    let r = &out.results[0];
 
     println!("bug={bug} n={n} mode={mode}");
     println!("flaps={} recoveries={}", r.total_flaps, r.recoveries);

@@ -14,17 +14,53 @@
 //! cargo run --release -p scalecheck-bench --bin ext_hdfs
 //! ```
 
-use scalecheck_bench::{flag_value, print_row};
-use scalecheck_hdfslike::{hdfs_scale_check, run_hdfs, HdfsConfig};
+use scalecheck_bench::{
+    exit_usage, parse_flag, parse_list_flag, print_row, run_sweep, Cell, SweepOptions,
+};
+use scalecheck_hdfslike::{hdfs_scale_check, run_hdfs, HdfsConfig, HdfsReport};
+
+const USAGE: &str = "usage: ext_hdfs [--scales 64,128,192,256] [--seed N] [--jobs N] [--no-cache]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scales: Vec<usize> = flag_value(&args, "--scales")
-        .map(|s| s.split(',').map(|x| x.trim().parse().unwrap()).collect())
+    let opts = SweepOptions::from_args(&args).unwrap_or_else(|e| exit_usage(USAGE, &e));
+    let scales: Vec<usize> = parse_list_flag(&args, "--scales")
+        .unwrap_or_else(|e| exit_usage(USAGE, &e))
         .unwrap_or_else(|| vec![64, 128, 192, 256]);
-    let seed: u64 = flag_value(&args, "--seed")
-        .map(|s| s.parse().unwrap())
+    let seed: u64 = parse_flag(&args, "--seed")
+        .unwrap_or_else(|e| exit_usage(USAGE, &e))
         .unwrap_or(1);
+
+    let mut cells: Vec<Cell<HdfsReport>> = Vec::new();
+    for &n in &scales {
+        let cfg = HdfsConfig::bug(n, seed);
+        {
+            let cfg = cfg.clone();
+            cells.push(Cell::new(
+                format!("ext-hdfs N={n} real(bug)"),
+                ("ext_hdfs-real", cfg.clone()),
+                move || run_hdfs(&cfg),
+            ));
+        }
+        {
+            let cfg = cfg.clone();
+            cells.push(Cell::new(
+                format!("ext-hdfs N={n} sc+pil"),
+                ("ext_hdfs-scpil-16", cfg.clone()),
+                move || hdfs_scale_check(&cfg, 16).1,
+            ));
+        }
+        {
+            let mut cfg = cfg.clone();
+            cfg.version = scalecheck_hdfslike::ReportVersion::IncrementalDiff;
+            cells.push(Cell::new(
+                format!("ext-hdfs N={n} real(fix)"),
+                ("ext_hdfs-real", cfg.clone()),
+                move || run_hdfs(&cfg),
+            ));
+        }
+    }
+    let out = run_sweep(cells, &opts);
 
     println!("Extension — HDFS-like serialized-O(N) bug (block reports under the namenode lock)");
     println!("false dead declarations of live datanodes over a 600s run\n");
@@ -38,15 +74,10 @@ fn main() {
         ],
         12,
     );
-    for &n in &scales {
-        let mut cfg = HdfsConfig::bug(n, seed);
-        eprintln!("[ext-hdfs] N={n}: real(bug)...");
-        let real = run_hdfs(&cfg);
-        eprintln!("[ext-hdfs] N={n}: memoize + replay...");
-        let (_rec, pil) = hdfs_scale_check(&cfg, 16);
-        eprintln!("[ext-hdfs] N={n}: real(fix)...");
-        cfg.version = scalecheck_hdfslike::ReportVersion::IncrementalDiff;
-        let fixed = run_hdfs(&cfg);
+    for (i, &n) in scales.iter().enumerate() {
+        let real = &out.results[3 * i];
+        let pil = &out.results[3 * i + 1];
+        let fixed = &out.results[3 * i + 2];
         print_row(
             &[
                 n.to_string(),

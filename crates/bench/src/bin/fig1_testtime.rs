@@ -10,10 +10,12 @@
 //! cargo run --release -p scalecheck-bench --bin fig1_testtime
 //! ```
 
-use scalecheck_bench::{flag_value, print_row};
-use scalecheck_cluster::{run_scenario, DeploymentMode, ScenarioConfig, Workload};
+use scalecheck_bench::{exit_usage, parse_list_flag, print_row, run_sweep, Cell, SweepOptions};
+use scalecheck_cluster::{run_scenario, DeploymentMode, RunReport, ScenarioConfig, Workload};
 use scalecheck_memo::OrderRecorder;
 use scalecheck_sim::SimDuration;
+
+const USAGE: &str = "usage: fig1_testtime [--scales 8,16,32] [--jobs N] [--no-cache]";
 
 fn scenario(n: usize) -> ScenarioConfig {
     let mut cfg = ScenarioConfig::c3831(n, 1);
@@ -34,9 +36,54 @@ fn scenario(n: usize) -> ScenarioConfig {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scales: Vec<usize> = flag_value(&args, "--scales")
-        .map(|s| s.split(',').map(|x| x.trim().parse().unwrap()).collect())
+    let opts = SweepOptions::from_args(&args).unwrap_or_else(|e| exit_usage(USAGE, &e));
+    let scales: Vec<usize> = parse_list_flag(&args, "--scales")
+        .unwrap_or_else(|e| exit_usage(USAGE, &e))
         .unwrap_or_else(|| vec![8, 16, 32]);
+
+    // Three cells per scale: real, 1-core colocation, and the ordered
+    // PIL replay on the 1-core box (memoized on 16 cores).
+    let mut cells: Vec<Cell<RunReport>> = Vec::new();
+    for &n in &scales {
+        let cfg = scenario(n);
+        let real_cfg = cfg.clone().with_deployment(DeploymentMode::Real);
+        cells.push(Cell::new(
+            format!("fig1 N={n} Real"),
+            ("fig1-real", real_cfg.clone()),
+            move || run_scenario(&real_cfg),
+        ));
+        let colo_cfg = cfg
+            .clone()
+            .with_deployment(DeploymentMode::Colo { cores: 1 });
+        cells.push(Cell::new(
+            format!("fig1 N={n} Colo(1)"),
+            ("fig1-colo", colo_cfg.clone()),
+            move || run_scenario(&colo_cfg),
+        ));
+        cells.push(Cell::new(
+            format!("fig1 N={n} PIL(1)"),
+            ("fig1-pil-ordered-1core-memo16", cfg.clone()),
+            move || {
+                // Memoize (on 16 cores to keep the one-time cost sane),
+                // then PIL-replay on the 1-core box: the PIL sleeps do
+                // not occupy the core, so the replay tracks Real.
+                let memo = scalecheck::memoize(&cfg, 16);
+                let mut replay_cfg = cfg
+                    .clone()
+                    .with_deployment(DeploymentMode::PilReplay { cores: 1 })
+                    .with_calc_io(scalecheck_cluster::CalcIo::Replay);
+                replay_cfg.order_enforcement = true;
+                let order: OrderRecorder = memo.order.clone();
+                scalecheck_cluster::run_scenario_with_db(
+                    &replay_cfg,
+                    Some(memo.db.clone()),
+                    Some(order),
+                )
+                .0
+            },
+        ));
+    }
+    let out = run_sweep(cells, &opts);
 
     println!("Figure 1 — test completion time by approach (1-core colocation)");
     println!("(virtual seconds until the protocol quiesces)\n");
@@ -51,29 +98,10 @@ fn main() {
         10,
     );
 
-    for n in scales {
-        let cfg = scenario(n);
-        let real = run_scenario(&cfg.clone().with_deployment(DeploymentMode::Real));
-        let colo = run_scenario(
-            &cfg.clone()
-                .with_deployment(DeploymentMode::Colo { cores: 1 }),
-        );
-        // Memoize (on 16 cores to keep the one-time cost sane), then
-        // PIL-replay on the 1-core box: the PIL sleeps do not occupy
-        // the core, so the replay tracks Real.
-        let memo = scalecheck::memoize(&cfg, 16);
-        let mut replay_cfg = cfg
-            .clone()
-            .with_deployment(DeploymentMode::PilReplay { cores: 1 })
-            .with_calc_io(scalecheck_cluster::CalcIo::Replay);
-        replay_cfg.order_enforcement = true;
-        let order: OrderRecorder = memo.order.clone();
-        let (pil, _, _) = scalecheck_cluster::run_scenario_with_db(
-            &replay_cfg,
-            Some(memo.db.clone()),
-            Some(order),
-        );
-
+    for (i, &n) in scales.iter().enumerate() {
+        let real = &out.results[3 * i];
+        let colo = &out.results[3 * i + 1];
+        let pil = &out.results[3 * i + 2];
         // "t" here is the active settling time after the workload
         // begins; quiescent runs end at different absolute points, so
         // report the full run duration.

@@ -9,23 +9,30 @@
 //! * `--bug c3831|c3881|c5456` — which panel (default c3831);
 //! * `--scales 32,64,128,256` — x-axis (default the paper's);
 //! * `--seed 1` — simulation seed;
-//! * `--json` — additionally emit one JSON object per point.
+//! * `--json` — additionally emit one JSON object per point;
+//! * `--jobs N` — parallel sweep workers (default all cores);
+//! * `--no-cache` — bypass the on-disk result cache.
 
-use scalecheck::{memoize, replay, run_colo, run_real, COLO_CORES};
-use scalecheck_bench::{bug_scenario, flag_value, has_flag, print_row, report_json, PAPER_SCALES};
+use scalecheck::{CellSpec, ExecMode, COLO_CORES};
+use scalecheck_bench::{
+    exit_usage, has_flag, parse_flag, parse_list_flag, print_row, report_json, run_sweep,
+    spec_cell, try_bug_scenario, SweepOptions, PAPER_SCALES,
+};
+
+const USAGE: &str = "usage: fig3_flaps [--bug c3831|c3881|c5456|c6127] [--scales 32,64,128,256] \
+[--seed N] [--json] [--jobs N] [--no-cache]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let bug = flag_value(&args, "--bug").unwrap_or_else(|| "c3831".to_string());
-    let seed: u64 = flag_value(&args, "--seed")
-        .map(|s| s.parse().expect("--seed must be an integer"))
+    let opts = SweepOptions::from_args(&args).unwrap_or_else(|e| exit_usage(USAGE, &e));
+    let bug = scalecheck_bench::flag_value(&args, "--bug")
+        .unwrap_or_else(|e| exit_usage(USAGE, &e))
+        .unwrap_or_else(|| "c3831".to_string());
+    let seed: u64 = parse_flag(&args, "--seed")
+        .unwrap_or_else(|e| exit_usage(USAGE, &e))
         .unwrap_or(1);
-    let scales: Vec<usize> = flag_value(&args, "--scales")
-        .map(|s| {
-            s.split(',')
-                .map(|x| x.trim().parse().expect("--scales must be integers"))
-                .collect()
-        })
+    let scales: Vec<usize> = parse_list_flag(&args, "--scales")
+        .unwrap_or_else(|e| exit_usage(USAGE, &e))
         .unwrap_or_else(|| PAPER_SCALES.to_vec());
     let json = has_flag(&args, "--json");
 
@@ -35,6 +42,29 @@ fn main() {
         "c5456" => "Figure 3c — c5456: Scale-Out",
         other => other,
     };
+
+    // One cell per (scale, mode): independent engines, any completion
+    // order, canonical assembly below.
+    const MODES: [ExecMode; 3] = [
+        ExecMode::Real,
+        ExecMode::Colo { cores: COLO_CORES },
+        ExecMode::ScPil {
+            cores: COLO_CORES,
+            ordered: false,
+        },
+    ];
+    let mut cells = Vec::new();
+    for &n in &scales {
+        let cfg = try_bug_scenario(&bug, n, seed).unwrap_or_else(|e| exit_usage(USAGE, &e));
+        for mode in MODES {
+            cells.push(spec_cell(
+                format!("fig3 {bug} N={n} {}", mode.label()),
+                CellSpec::new(cfg.clone(), mode),
+            ));
+        }
+    }
+    let out = run_sweep(cells, &opts);
+
     println!("{title}");
     println!("#flaps observed across the whole cluster (paper plots x1000)\n");
     print_row(
@@ -50,29 +80,10 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut unavail: Vec<(f64, f64)> = Vec::new();
-    for &n in &scales {
-        let cfg = bug_scenario(&bug, n, seed);
-        eprintln!("[fig3 {bug}] N={n}: running Real...");
-        let real = run_real(&cfg);
-        eprintln!(
-            "[fig3 {bug}] N={n}: Real flaps={} dur={:.0}s; running Colo...",
-            real.total_flaps,
-            real.duration.as_secs_f64()
-        );
-        let colo = run_colo(&cfg, COLO_CORES);
-        eprintln!(
-            "[fig3 {bug}] N={n}: Colo flaps={} dur={:.0}s; memoizing + replaying...",
-            colo.total_flaps,
-            colo.duration.as_secs_f64()
-        );
-        let memo = memoize(&cfg, COLO_CORES);
-        let pil = replay(&cfg, COLO_CORES, &memo);
-        eprintln!(
-            "[fig3 {bug}] N={n}: SC+PIL flaps={} dur={:.0}s hit-rate={:.2}",
-            pil.total_flaps,
-            pil.duration.as_secs_f64(),
-            pil.memo.replay_hit_rate()
-        );
+    for (i, &n) in scales.iter().enumerate() {
+        let real = &out.results[3 * i];
+        let colo = &out.results[3 * i + 1];
+        let pil = &out.results[3 * i + 2];
         print_row(
             &[
                 n.to_string(),
@@ -84,9 +95,9 @@ fn main() {
             10,
         );
         if json {
-            println!("{}", report_json("Real", n, &real));
-            println!("{}", report_json("Colo", n, &colo));
-            println!("{}", report_json("SC+PIL", n, &pil));
+            println!("{}", report_json("Real", n, real));
+            println!("{}", report_json("Colo", n, colo));
+            println!("{}", report_json("SC+PIL", n, pil));
         }
         rows.push((n, real.total_flaps, colo.total_flaps, pil.total_flaps));
         unavail.push((real.unavailability(), pil.unavailability()));
@@ -94,7 +105,9 @@ fn main() {
 
     // Shape summary (the paper's qualitative claims).
     println!();
-    let peak = rows.last().expect("at least one scale");
+    let peak = rows.last().unwrap_or_else(|| {
+        exit_usage(USAGE, "--scales must name at least one scale");
+    });
     println!(
         "shape: at N={}, Colo/Real = {:.1}x, SC+PIL/Real = {:.2}x",
         peak.0,

@@ -11,17 +11,43 @@
 //! cargo run --release -p scalecheck-bench --bin fig_c6127
 //! ```
 
-use scalecheck::{memoize, replay, run_colo, run_real, COLO_CORES};
-use scalecheck_bench::{bug_scenario, flag_value, print_row};
+use scalecheck::{CellSpec, ExecMode, COLO_CORES};
+use scalecheck_bench::{
+    exit_usage, parse_flag, parse_list_flag, print_row, run_sweep, spec_cell, try_bug_scenario,
+    SweepOptions,
+};
+
+const USAGE: &str = "usage: fig_c6127 [--scales 32,64,128,256] [--seed N] [--jobs N] [--no-cache]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scales: Vec<usize> = flag_value(&args, "--scales")
-        .map(|s| s.split(',').map(|x| x.trim().parse().unwrap()).collect())
+    let opts = SweepOptions::from_args(&args).unwrap_or_else(|e| exit_usage(USAGE, &e));
+    let scales: Vec<usize> = parse_list_flag(&args, "--scales")
+        .unwrap_or_else(|e| exit_usage(USAGE, &e))
         .unwrap_or_else(|| vec![32, 64, 128, 256]);
-    let seed: u64 = flag_value(&args, "--seed")
-        .map(|s| s.parse().unwrap())
+    let seed: u64 = parse_flag(&args, "--seed")
+        .unwrap_or_else(|e| exit_usage(USAGE, &e))
         .unwrap_or(1);
+
+    const MODES: [ExecMode; 3] = [
+        ExecMode::Real,
+        ExecMode::Colo { cores: COLO_CORES },
+        ExecMode::ScPil {
+            cores: COLO_CORES,
+            ordered: false,
+        },
+    ];
+    let mut cells = Vec::new();
+    for &n in &scales {
+        let cfg = try_bug_scenario("c6127", n, seed).unwrap_or_else(|e| exit_usage(USAGE, &e));
+        for mode in MODES {
+            cells.push(spec_cell(
+                format!("c6127 N={n} {}", mode.label()),
+                CellSpec::new(cfg.clone(), mode),
+            ));
+        }
+    }
+    let out = run_sweep(cells, &opts);
 
     println!("Extension — c6127: Bootstrap-from-scratch (fresh-ring quadratic path)");
     println!("#flaps observed across the whole cluster\n");
@@ -34,15 +60,10 @@ fn main() {
         ],
         10,
     );
-    for &n in &scales {
-        let cfg = bug_scenario("c6127", n, seed);
-        eprintln!("[c6127] N={n}: real...");
-        let real = run_real(&cfg);
-        eprintln!("[c6127] N={n}: colo...");
-        let colo = run_colo(&cfg, COLO_CORES);
-        eprintln!("[c6127] N={n}: sc+pil...");
-        let memo = memoize(&cfg, COLO_CORES);
-        let pil = replay(&cfg, COLO_CORES, &memo);
+    for (i, &n) in scales.iter().enumerate() {
+        let real = &out.results[3 * i];
+        let colo = &out.results[3 * i + 1];
+        let pil = &out.results[3 * i + 2];
         print_row(
             &[
                 n.to_string(),

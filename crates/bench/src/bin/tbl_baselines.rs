@@ -16,43 +16,96 @@
 //! cargo run --release -p scalecheck-bench --bin tbl_baselines -- --target 128
 //! ```
 
-use scalecheck::baselines::{extrapolate_power_law, time_dilated};
-use scalecheck::{memoize, replay, run_colo, run_real, COLO_CORES};
-use scalecheck_bench::{bug_scenario, flag_value, print_row};
-use scalecheck_cluster::run_scenario;
+use scalecheck::baselines::time_dilated;
+use scalecheck::{extrapolate_power_law, memoize, replay, COLO_CORES};
+use scalecheck_bench::{
+    exit_usage, parse_flag, print_row, run_sweep, try_bug_scenario, Cell, SweepOptions,
+};
+use scalecheck_cluster::{run_scenario, RunReport};
+
+const USAGE: &str = "usage: tbl_baselines [--target N] [--tdf N] [--jobs N] [--no-cache]";
+
+const TRAIN_SCALES: [usize; 4] = [8, 16, 32, 64];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let target: usize = flag_value(&args, "--target")
-        .map(|s| s.parse().unwrap())
+    let opts = SweepOptions::from_args(&args).unwrap_or_else(|e| exit_usage(USAGE, &e));
+    let target: usize = parse_flag(&args, "--target")
+        .unwrap_or_else(|e| exit_usage(USAGE, &e))
         .unwrap_or(256);
-    let tdf: u64 = flag_value(&args, "--tdf")
-        .map(|s| s.parse().unwrap())
+    let tdf: u64 = parse_flag(&args, "--tdf")
+        .unwrap_or_else(|e| exit_usage(USAGE, &e))
         .unwrap_or(16);
     let seed = 1;
 
+    let bug =
+        |n: usize| try_bug_scenario("c3831", n, seed).unwrap_or_else(|e| exit_usage(USAGE, &e));
+
+    // Cells: four mini-cluster training runs, then real / colo /
+    // diecast at the target, then the memoize+replay pair (one cell —
+    // they share the memo database).
+    let mut cells: Vec<Cell<Vec<RunReport>>> = Vec::new();
+    for &n in &TRAIN_SCALES {
+        let cfg = bug(n);
+        cells.push(Cell::new(
+            format!("baselines mini N={n}"),
+            ("tbl_baselines-real", cfg.clone()),
+            move || vec![scalecheck::run_real(&cfg)],
+        ));
+    }
+    let cfg = bug(target);
+    {
+        let cfg = cfg.clone();
+        cells.push(Cell::new(
+            format!("baselines real N={target}"),
+            ("tbl_baselines-real", cfg.clone()),
+            move || vec![scalecheck::run_real(&cfg)],
+        ));
+    }
+    {
+        let cfg = cfg.clone();
+        cells.push(Cell::new(
+            format!("baselines colo N={target}"),
+            ("tbl_baselines-colo", cfg.clone()),
+            move || vec![scalecheck::run_colo(&cfg, COLO_CORES)],
+        ));
+    }
+    {
+        let dilated = time_dilated(&cfg, COLO_CORES, tdf);
+        cells.push(Cell::new(
+            format!("baselines diecast tdf={tdf} N={target}"),
+            ("tbl_baselines-diecast", dilated.clone()),
+            move || vec![run_scenario(&dilated)],
+        ));
+    }
+    {
+        let cfg = cfg.clone();
+        cells.push(Cell::new(
+            format!("baselines sc+pil N={target}"),
+            ("tbl_baselines-scpil", cfg.clone()),
+            move || {
+                let memo = memoize(&cfg, COLO_CORES);
+                let pil = replay(&cfg, COLO_CORES, &memo);
+                vec![memo.report, pil]
+            },
+        ));
+    }
+    let out = run_sweep(cells, &opts);
+
     println!("S4 baselines vs scale check on c3831, target N={target}\n");
 
-    // Mini-cluster testing + extrapolation training data.
-    let train_scales = [8usize, 16, 32, 64];
-    let mut train = Vec::new();
-    for &n in &train_scales {
-        let r = run_real(&bug_scenario("c3831", n, seed));
-        eprintln!("[baselines] mini-cluster N={n}: flaps={}", r.total_flaps);
-        train.push((n, r.total_flaps));
-    }
+    let train: Vec<(usize, u64)> = TRAIN_SCALES
+        .iter()
+        .zip(&out.results)
+        .map(|(&n, r)| (n, r[0].total_flaps))
+        .collect();
     let extrapolated = extrapolate_power_law(&train, target);
-
-    let cfg = bug_scenario("c3831", target, seed);
-    eprintln!("[baselines] real-scale ...");
-    let real = run_real(&cfg);
-    eprintln!("[baselines] basic colocation ...");
-    let colo = run_colo(&cfg, COLO_CORES);
-    eprintln!("[baselines] DieCast-style TDF={tdf} ...");
-    let diecast = run_scenario(&time_dilated(&cfg, COLO_CORES, tdf));
-    eprintln!("[baselines] SC+PIL ...");
-    let memo = memoize(&cfg, COLO_CORES);
-    let pil = replay(&cfg, COLO_CORES, &memo);
+    let k = TRAIN_SCALES.len();
+    let real = &out.results[k][0];
+    let colo = &out.results[k + 1][0];
+    let diecast = &out.results[k + 2][0];
+    let memo_report = &out.results[k + 3][0];
+    let pil = &out.results[k + 3][1];
 
     println!();
     print_row(
@@ -133,6 +186,6 @@ fn main() {
          memoization ({:.0}s).",
         diecast.duration.as_secs_f64(),
         real.duration.as_secs_f64(),
-        memo.report.duration.as_secs_f64()
+        memo_report.duration.as_secs_f64()
     );
 }

@@ -20,10 +20,15 @@
 //! cargo run --release -p scalecheck-bench --bin tbl_colocation_limit
 //! ```
 
-use scalecheck::{memoize, Bottleneck, BottleneckThresholds, COLO_CORES};
-use scalecheck_bench::{flag_value, print_row};
+use scalecheck::{Bottleneck, BottleneckThresholds, CellSpec, ExecMode, COLO_CORES};
+use scalecheck_bench::{
+    exit_usage, parse_list_flag, print_row, run_sweep, spec_cell, SweepOptions,
+};
 use scalecheck_cluster::{CalcVersion, ScenarioConfig, Workload};
 use scalecheck_sim::SimDuration;
+
+const USAGE: &str =
+    "usage: tbl_colocation_limit [--factors 128,256,384,512,600] [--jobs N] [--no-cache]";
 
 fn scenario(n: usize, scale_checkable: bool) -> ScenarioConfig {
     let mut cfg = ScenarioConfig::baseline(n, 1);
@@ -48,22 +53,43 @@ fn scenario(n: usize, scale_checkable: bool) -> ScenarioConfig {
     cfg
 }
 
+const CONFIGS: [(&str, bool); 2] = [
+    ("single process + global event queue (S6 redesign)", true),
+    (
+        "one process per node (70 MB runtime each) + per-node threads",
+        false,
+    ),
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let factors: Vec<usize> = flag_value(&args, "--factors")
-        .map(|s| s.split(',').map(|x| x.trim().parse().unwrap()).collect())
+    let opts = SweepOptions::from_args(&args).unwrap_or_else(|e| exit_usage(USAGE, &e));
+    let factors: Vec<usize> = parse_list_flag(&args, "--factors")
+        .unwrap_or_else(|e| exit_usage(USAGE, &e))
         .unwrap_or_else(|| vec![128, 256, 384, 512, 600]);
     let thresholds = BottleneckThresholds::default();
 
+    let mut cells = Vec::new();
+    for (label, scale_checkable) in CONFIGS {
+        for &n in &factors {
+            cells.push(spec_cell(
+                format!(
+                    "t-colo-limit {} N={n}",
+                    if scale_checkable { "S6" } else { "naive" }
+                ),
+                CellSpec::new(
+                    scenario(n, scale_checkable),
+                    ExecMode::Memo { cores: COLO_CORES },
+                ),
+            ));
+        }
+        let _ = label;
+    }
+    let out = run_sweep(cells, &opts);
+
     println!("Colocation limits of the memoization run on a 16-core / 32-GB machine (S6, S8)\n");
 
-    for (label, scale_checkable) in [
-        ("single process + global event queue (S6 redesign)", true),
-        (
-            "one process per node (70 MB runtime each) + per-node threads",
-            false,
-        ),
-    ] {
+    for (c, (label, _)) in CONFIGS.iter().enumerate() {
         println!("config: {label}");
         print_row(
             &[
@@ -76,11 +102,9 @@ fn main() {
             14,
         );
         let mut max_ok = None;
-        for &n in &factors {
-            let cfg = scenario(n, scale_checkable);
-            eprintln!("[t-colo-limit] {label}: N={n} ...");
-            let r = memoize(&cfg, COLO_CORES).report;
-            let hits = scalecheck::diagnose(&r, &thresholds);
+        for (i, &n) in factors.iter().enumerate() {
+            let r = &out.results[c * factors.len() + i];
+            let hits = scalecheck::diagnose(r, &thresholds);
             let verdict = if hits.is_empty() {
                 max_ok = Some(n);
                 "ok".to_string()

@@ -6,7 +6,7 @@
 //! cargo run --release -p scalecheck-bench --bin tbl_complexity
 //! ```
 
-use scalecheck_bench::print_row;
+use scalecheck_bench::{exit_usage, print_row, run_sweep, Cell, SweepOptions};
 use scalecheck_cluster::calibrate::{
     ops_to_duration, NS_PER_OP_FRESH, NS_PER_OP_V1, NS_PER_OP_V2_VNODES,
 };
@@ -15,11 +15,15 @@ use scalecheck_ring::{
     RingTable, TopologyChange, V1Cubic, V2Quadratic, V3VnodeAware,
 };
 
+const USAGE: &str = "usage: tbl_complexity [--jobs N] [--no-cache]";
+
+const SCALES: [u32; 4] = [32, 64, 128, 256];
+
 fn ring_of(n: u32, p: usize) -> RingTable {
     let mut r = RingTable::new(3);
     for i in 0..n {
         r.add_node(NodeId(i), NodeStatus::Normal, spread_tokens(NodeId(i), p))
-            .unwrap();
+            .expect("fresh ring accepts distinct nodes");
     }
     r
 }
@@ -46,11 +50,48 @@ fn bootstrap_ops(n: u32) -> u64 {
     c.ops()
 }
 
+fn row_ops(version: &str, p: usize) -> Vec<u64> {
+    SCALES
+        .iter()
+        .map(|&n| match version {
+            "v1-cubic" => ops(&V1Cubic, n, p),
+            "v2-quadratic" | "v2-quad+vnode" => ops(&V2Quadratic, n, p),
+            "v3-vnode" => ops(&V3VnodeAware, n, p),
+            "fresh-boot" => bootstrap_ops(n),
+            other => unreachable!("unknown calculator row {other}"),
+        })
+        .collect()
+}
+
 fn exponent(o1: u64, o2: u64) -> f64 {
     (o2 as f64 / o1 as f64).log2()
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = SweepOptions::from_args(&args).unwrap_or_else(|e| exit_usage(USAGE, &e));
+
+    let rows: [(&str, usize, u64); 5] = [
+        ("v1-cubic", 1, NS_PER_OP_V1),
+        ("v2-quadratic", 1, NS_PER_OP_V1),
+        ("v2-quad+vnode", 32, NS_PER_OP_V2_VNODES),
+        ("v3-vnode", 32, NS_PER_OP_V2_VNODES),
+        ("fresh-boot", 1, NS_PER_OP_FRESH),
+    ];
+
+    // One cell per calculator version: its op counts at every scale.
+    let cells: Vec<Cell<Vec<u64>>> = rows
+        .iter()
+        .map(|&(name, p, _)| {
+            Cell::new(
+                format!("t-complexity {name}"),
+                ("tbl_complexity-ops", name, p, SCALES),
+                move || row_ops(name, p),
+            )
+        })
+        .collect();
+    let out = run_sweep(cells, &opts);
+
     println!("Complexity of the pending-range calculator versions");
     println!("(ops for one topology change; duration via calibrated ns/op)\n");
 
@@ -68,42 +109,12 @@ fn main() {
         12,
     );
 
-    type OpsFn = Box<dyn Fn(u32) -> u64>;
-    let rows: Vec<(&str, usize, OpsFn, u64)> = vec![
-        (
-            "v1-cubic",
-            1,
-            Box::new(|n| ops(&V1Cubic, n, 1)),
-            NS_PER_OP_V1,
-        ),
-        (
-            "v2-quadratic",
-            1,
-            Box::new(|n| ops(&V2Quadratic, n, 1)),
-            NS_PER_OP_V1,
-        ),
-        (
-            "v2-quad+vnode",
-            32,
-            Box::new(|n| ops(&V2Quadratic, n, 32)),
-            NS_PER_OP_V2_VNODES,
-        ),
-        (
-            "v3-vnode",
-            32,
-            Box::new(|n| ops(&V3VnodeAware, n, 32)),
-            NS_PER_OP_V2_VNODES,
-        ),
-        ("fresh-boot", 1, Box::new(bootstrap_ops), NS_PER_OP_FRESH),
-    ];
-
-    for (name, p, f, ns) in rows {
-        let o: Vec<u64> = [32u32, 64, 128, 256].iter().map(|&n| f(n)).collect();
+    for ((name, p, ns), o) in rows.iter().zip(&out.results) {
         let exp = (exponent(o[0], o[1]) + exponent(o[1], o[2]) + exponent(o[2], o[3])) / 3.0;
-        let t256 = ops_to_duration(o[3], ns);
+        let t256 = ops_to_duration(o[3], *ns);
         print_row(
             &[
-                name.into(),
+                (*name).into(),
                 p.to_string(),
                 o[0].to_string(),
                 o[1].to_string(),

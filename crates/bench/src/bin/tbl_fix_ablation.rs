@@ -11,17 +11,65 @@
 //! cargo run --release -p scalecheck-bench --bin tbl_fix_ablation -- --nodes 256
 //! ```
 
-use scalecheck::{memoize, run_real, COLO_CORES};
-use scalecheck_bench::{bug_scenario, flag_value, print_row};
-use scalecheck_cluster::{CalcIo, CalcVersion, DeploymentMode, LockingMode};
+use scalecheck::{CellSpec, ExecMode, COLO_CORES};
+use scalecheck_bench::{
+    exit_usage, parse_flag, print_row, run_sweep, spec_cell, try_bug_scenario, SweepOptions,
+};
+use scalecheck_cluster::{CalcVersion, LockingMode, ScenarioConfig};
 use scalecheck_sim::{ps_completions, SimDuration, SimTime};
+
+const USAGE: &str = "usage: tbl_fix_ablation [--nodes N] [--jobs N] [--no-cache]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let n: usize = flag_value(&args, "--nodes")
-        .map(|s| s.parse().unwrap())
+    let opts = SweepOptions::from_args(&args).unwrap_or_else(|e| exit_usage(USAGE, &e));
+    let n: usize = parse_flag(&args, "--nodes")
+        .unwrap_or_else(|e| exit_usage(USAGE, &e))
         .unwrap_or(256);
     let seed = 1;
+
+    let scenario = |bug: &str| -> ScenarioConfig {
+        try_bug_scenario(bug, n, seed).unwrap_or_else(|e| exit_usage(USAGE, &e))
+    };
+
+    // Buggy/fixed pairs, each a Real-deployment cell; then the two
+    // order-enforcement ablation replays.
+    let rows: [(&str, &str, &str); 3] = [
+        ("c3831", "v1-cubic", "v2-quadratic"),
+        ("c3881", "v2+vnodes", "v3-vnode-aware"),
+        ("c5456", "coarse-lock", "snapshot"),
+    ];
+    let mut cells = Vec::new();
+    for (bug, _, _) in rows {
+        let cfg = scenario(bug);
+        cells.push(spec_cell(
+            format!("ablation {bug} buggy"),
+            CellSpec::new(cfg.clone(), ExecMode::Real),
+        ));
+        let mut fixed_cfg = cfg;
+        match bug {
+            "c3831" => fixed_cfg.calculator = CalcVersion::V2Quadratic,
+            "c3881" => fixed_cfg.calculator = CalcVersion::V3VnodeAware,
+            _ => fixed_cfg.locking = LockingMode::SnapshotThread,
+        }
+        cells.push(spec_cell(
+            format!("ablation {bug} fixed"),
+            CellSpec::new(fixed_cfg, ExecMode::Real),
+        ));
+    }
+    for ordered in [true, false] {
+        cells.push(spec_cell(
+            format!("ablation c3831 replay ordered={ordered}"),
+            CellSpec::new(
+                scenario("c3831"),
+                ExecMode::ScPil {
+                    cores: COLO_CORES,
+                    ordered,
+                },
+            ),
+        ));
+    }
+    let out = run_sweep(cells, &opts);
 
     println!("Fix ablation at N={n}: buggy vs fixed implementation (Real deployment)\n");
     print_row(
@@ -34,64 +82,15 @@ fn main() {
         ],
         18,
     );
-
-    // C3831: cubic -> quadratic fix.
-    {
-        let cfg = bug_scenario("c3831", n, seed);
-        eprintln!("[ablation] c3831 buggy ...");
-        let buggy = run_real(&cfg);
-        let mut fixed_cfg = cfg.clone();
-        fixed_cfg.calculator = CalcVersion::V2Quadratic;
-        eprintln!("[ablation] c3831 fixed ...");
-        let fixed = run_real(&fixed_cfg);
+    for (i, (bug, buggy_label, fixed_label)) in rows.iter().enumerate() {
+        let buggy = &out.results[2 * i];
+        let fixed = &out.results[2 * i + 1];
         print_row(
             &[
-                "c3831".into(),
-                "v1-cubic".into(),
+                (*bug).into(),
+                (*buggy_label).into(),
                 buggy.total_flaps.to_string(),
-                "v2-quadratic".into(),
-                fixed.total_flaps.to_string(),
-            ],
-            18,
-        );
-    }
-
-    // C3881: v2-under-vnodes -> v3 redesign.
-    {
-        let cfg = bug_scenario("c3881", n, seed);
-        eprintln!("[ablation] c3881 buggy ...");
-        let buggy = run_real(&cfg);
-        let mut fixed_cfg = cfg.clone();
-        fixed_cfg.calculator = CalcVersion::V3VnodeAware;
-        eprintln!("[ablation] c3881 fixed ...");
-        let fixed = run_real(&fixed_cfg);
-        print_row(
-            &[
-                "c3881".into(),
-                "v2+vnodes".into(),
-                buggy.total_flaps.to_string(),
-                "v3-vnode-aware".into(),
-                fixed.total_flaps.to_string(),
-            ],
-            18,
-        );
-    }
-
-    // C5456: coarse lock -> snapshot (clone the ring, release early).
-    {
-        let cfg = bug_scenario("c5456", n, seed);
-        eprintln!("[ablation] c5456 buggy ...");
-        let buggy = run_real(&cfg);
-        let mut fixed_cfg = cfg.clone();
-        fixed_cfg.locking = LockingMode::SnapshotThread;
-        eprintln!("[ablation] c5456 fixed ...");
-        let fixed = run_real(&fixed_cfg);
-        print_row(
-            &[
-                "c5456".into(),
-                "coarse-lock".into(),
-                buggy.total_flaps.to_string(),
-                "snapshot".into(),
+                (*fixed_label).into(),
                 fixed.total_flaps.to_string(),
             ],
             18,
@@ -101,27 +100,14 @@ fn main() {
     // Harness ablation 1: order enforcement on/off during PIL replay.
     println!();
     println!("harness ablation: PIL replay with vs without order enforcement (c3831, N={n}):");
-    {
-        let cfg = bug_scenario("c3831", n, seed);
-        let memo = memoize(&cfg, COLO_CORES);
-        for enforce in [true, false] {
-            let mut rcfg = cfg
-                .clone()
-                .with_deployment(DeploymentMode::PilReplay { cores: COLO_CORES })
-                .with_calc_io(CalcIo::Replay);
-            rcfg.order_enforcement = enforce;
-            let (r, _, _) = scalecheck_cluster::run_scenario_with_db(
-                &rcfg,
-                Some(memo.db.clone()),
-                Some(memo.order.clone()),
-            );
-            println!(
-                "  enforcement={enforce}: flaps={} hit-rate={:.3} forced-releases={}",
-                r.total_flaps,
-                r.memo.replay_hit_rate(),
-                r.order_forced_releases
-            );
-        }
+    for (j, enforce) in [true, false].iter().enumerate() {
+        let r = &out.results[6 + j];
+        println!(
+            "  enforcement={enforce}: flaps={} hit-rate={:.3} forced-releases={}",
+            r.total_flaps,
+            r.memo.replay_hit_rate(),
+            r.order_forced_releases
+        );
     }
 
     // Harness ablation 2: FIFO-cores vs processor sharing for a burst of
@@ -133,13 +119,13 @@ fn main() {
         .map(|_| (SimTime::ZERO, SimDuration::from_secs(1)))
         .collect();
     let ps = ps_completions(&tasks, 16);
-    let ps_last = ps.iter().max().unwrap();
+    let ps_last = ps.iter().max().expect("non-empty task set");
     let mut m = scalecheck_sim::Machine::new(16, scalecheck_sim::CtxSwitchModel::FREE);
     let fifo_last = tasks
         .iter()
         .map(|&(at, d)| m.submit(at, d).finish)
         .max()
-        .unwrap();
+        .expect("non-empty task set");
     println!(
         "  FIFO-cores last completion: {:.1}s, processor-sharing: {:.1}s (ideal 4.0s)",
         fifo_last.as_secs_f64(),

@@ -12,16 +12,48 @@
 //! ```
 
 use scalecheck::{memoize, replay, run_real, COLO_CORES};
-use scalecheck_bench::{bug_scenario, flag_value, print_row};
+use scalecheck_bench::{
+    exit_usage, parse_flag, print_row, run_sweep, try_bug_scenario, Cell, SweepOptions,
+};
+use scalecheck_cluster::RunReport;
+
+const USAGE: &str = "usage: tbl_memo_vs_replay [--nodes N] [--seed N] [--jobs N] [--no-cache]";
+
+const BUGS: [&str; 3] = ["c3831", "c3881", "c5456"];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let n: usize = flag_value(&args, "--nodes")
-        .map(|s| s.parse().unwrap())
+    let opts = SweepOptions::from_args(&args).unwrap_or_else(|e| exit_usage(USAGE, &e));
+    let n: usize = parse_flag(&args, "--nodes")
+        .unwrap_or_else(|e| exit_usage(USAGE, &e))
         .unwrap_or(256);
-    let seed: u64 = flag_value(&args, "--seed")
-        .map(|s| s.parse().unwrap())
+    let seed: u64 = parse_flag(&args, "--seed")
+        .unwrap_or_else(|e| exit_usage(USAGE, &e))
         .unwrap_or(1);
+
+    // Two cells per bug: the real run, and the memoize+replay pair
+    // (which must share one memo database, so they form one cell).
+    let mut cells: Vec<Cell<Vec<RunReport>>> = Vec::new();
+    for bug in BUGS {
+        let cfg = try_bug_scenario(bug, n, seed).unwrap_or_else(|e| exit_usage(USAGE, &e));
+        let real_cfg = cfg.clone();
+        cells.push(Cell::new(
+            format!("t-memo {bug} real"),
+            ("tbl_memo_vs_replay-real", cfg.clone()),
+            move || vec![run_real(&real_cfg)],
+        ));
+        let key = ("tbl_memo_vs_replay-memo-replay", cfg.clone());
+        cells.push(Cell::new(
+            format!("t-memo {bug} memoize+replay"),
+            key,
+            move || {
+                let memo = memoize(&cfg, COLO_CORES);
+                let rep = replay(&cfg, COLO_CORES, &memo);
+                vec![memo.report, rep]
+            },
+        ));
+    }
+    let out = run_sweep(cells, &opts);
 
     println!("Memoization vs replay time at {n}-node colocation (virtual minutes)");
     println!("(paper S8: memoization 7-125 min, replay 4-15 min ~ real deployment)\n");
@@ -37,24 +69,20 @@ fn main() {
         12,
     );
 
-    for bug in ["c3831", "c3881", "c5456"] {
-        let cfg = bug_scenario(bug, n, seed);
-        eprintln!("[t-memo] {bug}: real ...");
-        let real = run_real(&cfg);
-        eprintln!("[t-memo] {bug}: memoize ...");
-        let memo = memoize(&cfg, COLO_CORES);
-        eprintln!("[t-memo] {bug}: replay ...");
-        let rep = replay(&cfg, COLO_CORES, &memo);
+    for (i, bug) in BUGS.iter().enumerate() {
+        let real = &out.results[2 * i][0];
+        let memo_report = &out.results[2 * i + 1][0];
+        let rep = &out.results[2 * i + 1][1];
         let mins = |d: scalecheck_sim::SimDuration| d.as_secs_f64() / 60.0;
         print_row(
             &[
-                bug.into(),
+                (*bug).into(),
                 format!("{:.1}m", mins(real.duration)),
-                format!("{:.1}m", mins(memo.report.duration)),
+                format!("{:.1}m", mins(memo_report.duration)),
                 format!("{:.1}m", mins(rep.duration)),
                 format!(
                     "{:.1}x",
-                    memo.report.duration.as_secs_f64() / rep.duration.as_secs_f64()
+                    memo_report.duration.as_secs_f64() / rep.duration.as_secs_f64()
                 ),
                 format!(
                     "{:.2}x",

@@ -12,19 +12,56 @@
 //! ```
 
 use scalecheck::colocation_memory_demand;
-use scalecheck_bench::print_row;
+use scalecheck_bench::{exit_usage, print_row, run_sweep, Cell, SweepOptions};
 use scalecheck_cluster::{
-    run_scenario, AllocStrategy, CalcIo, DeploymentMode, ScenarioConfig, Workload,
+    run_scenario, AllocStrategy, CalcIo, DeploymentMode, RunReport, ScenarioConfig, Workload,
 };
 use scalecheck_sim::SimDuration;
 
+const USAGE: &str = "usage: tbl_memory [--jobs N] [--no-cache]";
+
 const GIB: f64 = (1u64 << 30) as f64;
+
+const REBALANCE_SCALES: [usize; 3] = [32, 64, 128];
 
 fn gib(b: u64) -> String {
     format!("{:.2}G", b as f64 / GIB)
 }
 
+fn rebalance_cfg(n: usize, strategy: AllocStrategy) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::baseline(n, 1);
+    cfg.vnodes = 8;
+    cfg.workload = Workload::ScaleOut {
+        count: 1,
+        gap: SimDuration::from_secs(30),
+    };
+    cfg.rescale_window = SimDuration::from_secs(40);
+    cfg.workload_end = SimDuration::from_secs(120);
+    cfg.max_duration = SimDuration::from_secs(600);
+    cfg.memory.rebalance_alloc = Some(strategy);
+    cfg.memory.single_process = true;
+    cfg.with_deployment(DeploymentMode::Colo { cores: 16 })
+        .with_calc_io(CalcIo::Execute)
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = SweepOptions::from_args(&args).unwrap_or_else(|e| exit_usage(USAGE, &e));
+
+    // Part 2's live runs: one cell per (scale, allocation strategy).
+    let mut cells: Vec<Cell<RunReport>> = Vec::new();
+    for &n in &REBALANCE_SCALES {
+        for strategy in [AllocStrategy::Naive, AllocStrategy::Frugal] {
+            let cfg = rebalance_cfg(n, strategy);
+            cells.push(Cell::new(
+                format!("t-memory N={n} {strategy:?}"),
+                ("tbl_memory-rebalance", cfg.clone()),
+                move || run_scenario(&cfg),
+            ));
+        }
+    }
+    let out = run_sweep(cells, &opts);
+
     println!("Memory as a colocation bottleneck (S6)\n");
 
     // Part 1: static demand of runtime overhead + ring tables.
@@ -58,27 +95,9 @@ fn main() {
         ],
         20,
     );
-    for n in [32usize, 64, 128] {
-        let mut report = Vec::new();
-        for strategy in [AllocStrategy::Naive, AllocStrategy::Frugal] {
-            let mut cfg = ScenarioConfig::baseline(n, 1);
-            cfg.vnodes = 8;
-            cfg.workload = Workload::ScaleOut {
-                count: 1,
-                gap: SimDuration::from_secs(30),
-            };
-            cfg.rescale_window = SimDuration::from_secs(40);
-            cfg.workload_end = SimDuration::from_secs(120);
-            cfg.max_duration = SimDuration::from_secs(600);
-            cfg.memory.rebalance_alloc = Some(strategy);
-            cfg.memory.single_process = true;
-            let cfg = cfg
-                .with_deployment(DeploymentMode::Colo { cores: 16 })
-                .with_calc_io(CalcIo::Execute);
-            report.push(run_scenario(&cfg));
-        }
-        let naive = &report[0];
-        let frugal = &report[1];
+    for (i, &n) in REBALANCE_SCALES.iter().enumerate() {
+        let naive = &out.results[2 * i];
+        let frugal = &out.results[2 * i + 1];
         let outcome = if naive.crashed_nodes > 0 {
             format!("{} nodes OOM-crashed", naive.crashed_nodes)
         } else {

@@ -7,10 +7,31 @@
 //! ```
 
 use scalecheck::{memoize, COLO_CORES};
-use scalecheck_bench::{bug_scenario, print_row};
+use scalecheck_bench::{exit_usage, print_row, run_sweep, try_bug_scenario, Cell, SweepOptions};
 use scalecheck_memo::{log10_ordering_space, ordering_space_digits, savings_orders_of_magnitude};
 
+const USAGE: &str = "usage: tbl_statespace [--jobs N] [--no-cache]";
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = SweepOptions::from_args(&args).unwrap_or_else(|e| exit_usage(USAGE, &e));
+
+    // The one live run: a memoization at N=32, reduced to the two
+    // counts the table needs (records, ordered events).
+    let n = 32;
+    let cfg = try_bug_scenario("c3831", n, 1).unwrap_or_else(|e| exit_usage(USAGE, &e));
+    let vnodes = cfg.vnodes;
+    let cell: Cell<(u64, u64)> = Cell::new(
+        format!("t-statespace memoize c3831 N={n}"),
+        ("tbl_statespace-memo-counts", cfg.clone()),
+        move || {
+            let memo = memoize(&cfg, COLO_CORES);
+            (memo.db.stats().recorded, memo.order.total() as u64)
+        },
+    );
+    let out = run_sweep(vec![cell], &opts);
+    let (records, ordered) = out.results[0];
+
     println!("The S5 state-space argument: orderings vs one recorded run\n");
     print_row(
         &[
@@ -35,18 +56,12 @@ fn main() {
 
     // Ground the comparison in an actual memoization run.
     println!();
-    let n = 32;
-    let cfg = bug_scenario("c3831", n, 1);
-    eprintln!("[t-statespace] memoizing c3831 at N={n} ...");
-    let memo = memoize(&cfg, COLO_CORES);
-    let records = memo.db.stats().recorded;
-    let ordered = memo.order.total() as u64;
     println!(
         "one memoization run at N={n}: {records} input/output records, {ordered} ordered events"
     );
     println!(
         "savings vs exhaustive ordering coverage: ~10^{:.0} x",
-        savings_orders_of_magnitude(n as u64, cfg.vnodes as u64, records.max(ordered))
+        savings_orders_of_magnitude(n as u64, vnodes as u64, records.max(ordered))
     );
     println!();
     println!("covering all orderings offline is impossible; recording one observed");

@@ -6,21 +6,73 @@
 
 #![forbid(unsafe_code)]
 
+pub mod sweep;
+
 use scalecheck_cluster::{RunReport, ScenarioConfig};
 use serde_json::json;
+
+pub use sweep::{run_sweep, spec_cell, Cell, SweepOptions, SweepOutcome};
+
+/// Builds the scenario for a named bug at a given scale, or explains
+/// why the bug id is unknown.
+pub fn try_bug_scenario(bug: &str, n: usize, seed: u64) -> Result<ScenarioConfig, String> {
+    match bug {
+        "c3831" => Ok(ScenarioConfig::c3831(n, seed)),
+        "c3881" => Ok(ScenarioConfig::c3881(n, seed)),
+        "c5456" => Ok(ScenarioConfig::c5456(n, seed)),
+        "c6127" => Ok(ScenarioConfig::c6127(n, seed)),
+        other => Err(format!(
+            "unknown bug id '{other}' (use c3831|c3881|c5456|c6127)"
+        )),
+    }
+}
 
 /// Builds the scenario for a named bug at a given scale.
 ///
 /// # Panics
 ///
-/// Panics on an unknown bug id.
+/// Panics on an unknown bug id; binaries should prefer
+/// [`try_bug_scenario`] and exit through [`exit_usage`].
 pub fn bug_scenario(bug: &str, n: usize, seed: u64) -> ScenarioConfig {
-    match bug {
-        "c3831" => ScenarioConfig::c3831(n, seed),
-        "c3881" => ScenarioConfig::c3881(n, seed),
-        "c5456" => ScenarioConfig::c5456(n, seed),
-        "c6127" => ScenarioConfig::c6127(n, seed),
-        other => panic!("unknown bug id '{other}' (use c3831|c3881|c5456|c6127)"),
+    try_bug_scenario(bug, n, seed).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Prints an error plus usage to stderr and exits with status 2 — the
+/// bad-CLI-arguments path for every binary in this crate.
+pub fn exit_usage(usage: &str, msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{usage}");
+    std::process::exit(2);
+}
+
+/// Parses `--key value` into a `T`, distinguishing "absent" (`Ok(None)`)
+/// from "present but malformed" (`Err`).
+pub fn parse_flag<T: std::str::FromStr>(args: &[String], key: &str) -> Result<Option<T>, String> {
+    match flag_value(args, key)? {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("{key} got invalid value '{raw}'")),
+    }
+}
+
+/// Parses a comma-separated `--key a,b,c` list, `Ok(None)` if absent.
+pub fn parse_list_flag<T: std::str::FromStr>(
+    args: &[String],
+    key: &str,
+) -> Result<Option<Vec<T>>, String> {
+    match flag_value(args, key)? {
+        None => Ok(None),
+        Some(raw) => raw
+            .split(',')
+            .map(|x| {
+                x.trim()
+                    .parse()
+                    .map_err(|_| format!("{key} got invalid element '{}'", x.trim()))
+            })
+            .collect::<Result<Vec<T>, String>>()
+            .map(Some),
     }
 }
 
@@ -49,10 +101,17 @@ pub fn report_json(label: &str, n: usize, r: &RunReport) -> serde_json::Value {
 }
 
 /// Parses `--key value` style flags from an argument list.
-pub fn flag_value(args: &[String], key: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == key)
-        .and_then(|i| args.get(i + 1).cloned())
+///
+/// `Ok(None)` when the flag is absent; `Err` when the flag is present
+/// but trailing with no value to consume.
+pub fn flag_value(args: &[String], key: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == key) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) => Ok(Some(v.clone())),
+            None => Err(format!("{key} expects a value")),
+        },
+    }
 }
 
 /// Whether a bare flag is present.
@@ -79,14 +138,44 @@ mod tests {
     }
 
     #[test]
+    fn unknown_bug_is_a_recoverable_error() {
+        let err = try_bug_scenario("c9999", 32, 1).unwrap_err();
+        assert!(err.contains("unknown bug id 'c9999'"));
+        assert!(err.contains("c3831"), "error should list valid ids");
+    }
+
+    #[test]
+    fn parse_flag_distinguishes_absent_from_malformed() {
+        let args: Vec<String> = ["--nodes", "abc"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(parse_flag::<u64>(&args, "--seed"), Ok(None));
+        assert!(parse_flag::<u64>(&args, "--nodes").is_err());
+        let ok: Vec<String> = ["--nodes", "64"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(parse_flag::<u64>(&ok, "--nodes"), Ok(Some(64)));
+        let list: Vec<String> = ["--scales", "32, 64,128"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(
+            parse_list_flag::<usize>(&list, "--scales"),
+            Ok(Some(vec![32, 64, 128]))
+        );
+    }
+
+    #[test]
     fn flag_parsing() {
         let args: Vec<String> = ["--bug", "c3831", "--json"]
             .iter()
             .map(|s| s.to_string())
             .collect();
-        assert_eq!(flag_value(&args, "--bug").as_deref(), Some("c3831"));
-        assert_eq!(flag_value(&args, "--nodes"), None);
+        assert_eq!(
+            flag_value(&args, "--bug").unwrap().as_deref(),
+            Some("c3831")
+        );
+        assert_eq!(flag_value(&args, "--nodes"), Ok(None));
         assert!(has_flag(&args, "--json"));
         assert!(!has_flag(&args, "--quiet"));
+        // A trailing flag with no value is an error, not a silent default.
+        let trailing: Vec<String> = ["--bug"].iter().map(|s| s.to_string()).collect();
+        assert!(flag_value(&trailing, "--bug").is_err());
     }
 }

@@ -75,7 +75,14 @@ pub fn time_dilated(cfg: &ScenarioConfig, _cores: usize, tdf: u64) -> ScenarioCo
     out.workload_end = out.workload_end.saturating_mul(tdf);
     out.max_duration = out.max_duration.saturating_mul(tdf);
     out.order_hold_timeout = out.order_hold_timeout.saturating_mul(tdf);
-    out.workload = match out.workload {
+    out.workload = dilate_workload(out.workload, tdf);
+    out
+}
+
+/// Stretches a workload's timescales by `tdf`, preserving its kind —
+/// the dilation [`time_dilated`] applies to the workload component.
+pub fn dilate_workload(w: Workload, tdf: u64) -> Workload {
+    match w {
         Workload::Decommission { count, gap } => Workload::Decommission {
             count,
             gap: gap.saturating_mul(tdf),
@@ -84,9 +91,8 @@ pub fn time_dilated(cfg: &ScenarioConfig, _cores: usize, tdf: u64) -> ScenarioCo
             count,
             gap: gap.saturating_mul(tdf),
         },
-        w @ Workload::BootstrapFromScratch => w,
-    };
-    out
+        Workload::BootstrapFromScratch => Workload::BootstrapFromScratch,
+    }
 }
 
 #[cfg(test)]
@@ -136,16 +142,21 @@ mod tests {
         );
         assert_eq!(d.rescale_window, cfg.rescale_window.saturating_mul(10));
         assert_eq!(d.max_duration, cfg.max_duration.saturating_mul(10));
-        match (cfg.workload, d.workload) {
-            (
-                Workload::Decommission { gap: g0, count: c0 },
-                Workload::Decommission { gap: g1, count: c1 },
-            ) => {
-                assert_eq!(c0, c1);
-                assert_eq!(g1, g0.saturating_mul(10));
-            }
-            _ => panic!("workload kind must be preserved"),
-        }
+        // Exhaustive over every workload kind: the dilated workload is
+        // exactly the original with its gap stretched by the TDF.
+        assert_eq!(
+            d.workload,
+            dilate_workload(cfg.workload, 10),
+            "workload kind preserved, gap dilated"
+        );
+        let Workload::Decommission { gap, .. } = d.workload else {
+            unreachable!("c3831 is a decommission workload");
+        };
+        assert_eq!(
+            gap,
+            SimDuration::from_secs(1400),
+            "c3831's 140s decommission gap -> 1400s under TDF 10"
+        );
         assert_eq!(
             d.ns_per_op,
             cfg.ns_per_op * 10,

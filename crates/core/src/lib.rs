@@ -39,6 +39,7 @@
 pub mod accuracy;
 pub mod baselines;
 pub mod bottleneck;
+pub mod cell;
 pub mod scalecheck;
 
 pub use accuracy::{compare_sweeps, FlapSweep, SweepComparison};
@@ -47,6 +48,7 @@ pub use bottleneck::{
     colocation_memory_demand, diagnose, max_colocation, Bottleneck, BottleneckThresholds,
     ColocationStep,
 };
+pub use cell::{run_cell, CellSpec, ExecMode};
 pub use scalecheck::{
     memoize, replay, replay_ordered, run_colo, run_real, scale_check, MemoArtifacts,
     ScaleCheckResult, COLO_CORES,

@@ -15,7 +15,7 @@ use crate::rng::DetRng;
 use crate::time::{SimDuration, SimTime};
 
 /// An event callback: mutates the world and may schedule more events.
-pub type EventFn<S> = Box<dyn FnOnce(&mut S, &mut Ctx<'_, S>)>;
+pub type EventFn<S> = Box<dyn FnOnce(&mut S, &mut Ctx<'_, S>) + Send>;
 
 struct Scheduled<S> {
     at: SimTime,
@@ -85,7 +85,7 @@ impl<'a, S> Ctx<'a, S> {
     /// Schedules `f` to run at absolute time `at` (clamped to now).
     pub fn schedule_at<F>(&mut self, at: SimTime, f: F)
     where
-        F: FnOnce(&mut S, &mut Ctx<'_, S>) + 'static,
+        F: FnOnce(&mut S, &mut Ctx<'_, S>) + Send + 'static,
     {
         let at = at.max(self.now);
         *self.seq += 1;
@@ -99,7 +99,7 @@ impl<'a, S> Ctx<'a, S> {
     /// Schedules `f` to run after `delay`.
     pub fn schedule_after<F>(&mut self, delay: SimDuration, f: F)
     where
-        F: FnOnce(&mut S, &mut Ctx<'_, S>) + 'static,
+        F: FnOnce(&mut S, &mut Ctx<'_, S>) + Send + 'static,
     {
         self.schedule_at(self.now + delay, f);
     }
@@ -161,7 +161,7 @@ impl<S> Engine<S> {
     /// Schedules `f` at absolute time `at` from outside an event callback.
     pub fn schedule_at<F>(&mut self, at: SimTime, f: F)
     where
-        F: FnOnce(&mut S, &mut Ctx<'_, S>) + 'static,
+        F: FnOnce(&mut S, &mut Ctx<'_, S>) + Send + 'static,
     {
         let at = at.max(self.now);
         self.seq += 1;
@@ -175,7 +175,7 @@ impl<S> Engine<S> {
     /// Schedules `f` after `delay` from outside an event callback.
     pub fn schedule_after<F>(&mut self, delay: SimDuration, f: F)
     where
-        F: FnOnce(&mut S, &mut Ctx<'_, S>) + 'static,
+        F: FnOnce(&mut S, &mut Ctx<'_, S>) + Send + 'static,
     {
         self.schedule_at(self.now + delay, f);
     }

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# The full local CI gate: format, lint, build, test.
+# Usage: scripts/ci.sh
+#
+# Note: the repo root is both a [workspace] and a [package], so plain
+# `cargo test` covers only the root crate; the --workspace forms below
+# cover every member. Both must stay green.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "=== cargo fmt --check ==="
+cargo fmt --all -- --check
+
+echo "=== cargo clippy (workspace, -D warnings) ==="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "=== cargo build --release (workspace) ==="
+cargo build --release --workspace
+
+echo "=== cargo test (root package) ==="
+cargo test -q
+
+echo "=== cargo test (workspace) ==="
+cargo test --workspace -q
+
+echo "ci green"

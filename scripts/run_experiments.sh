@@ -1,18 +1,31 @@
 #!/usr/bin/env bash
 # Regenerates every paper artifact into results/.
-# Usage: scripts/run_experiments.sh [--quick]
-# --quick caps Figure 3 sweeps at N=96 for a fast smoke pass.
+# Usage: scripts/run_experiments.sh [--quick] [--jobs N] [--no-cache]
+# --quick    caps Figure 3 sweeps at N=96 for a fast smoke pass.
+# --jobs N   worker threads per experiment sweep (default: all cores).
+# --no-cache ignore and bypass the on-disk result cache (results/cache/).
 set -u
 cd "$(dirname "$0")/.."
 SCALES="32,64,128,256"
-if [ "${1:-}" = "--quick" ]; then SCALES="32,64,96"; fi
+SWEEP_FLAGS=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --quick) SCALES="32,64,96" ;;
+    --jobs)
+      [ $# -ge 2 ] || { echo "--jobs needs a value" >&2; exit 2; }
+      SWEEP_FLAGS+=(--jobs "$2"); shift ;;
+    --no-cache) SWEEP_FLAGS+=(--no-cache) ;;
+    *) echo "unknown flag: $1" >&2; echo "usage: $0 [--quick] [--jobs N] [--no-cache]" >&2; exit 2 ;;
+  esac
+  shift
+done
 BIN=target/release
 cargo build --workspace --release || exit 1
 
 run() {
   name=$1; shift
   echo "=== $name ==="
-  "$@" >"results/$name.txt" 2>"results/$name.log"
+  "$@" ${SWEEP_FLAGS[@]+"${SWEEP_FLAGS[@]}"} >"results/$name.txt" 2>"results/$name.log"
   echo "    -> results/$name.txt"
 }
 

@@ -1,0 +1,594 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline
+//! serde shim.
+//!
+//! The build environment has no crates.io access, so `syn`/`quote` are
+//! unavailable; this macro parses the derive input with a small
+//! hand-rolled token walker and emits impl code as a string. It covers
+//! the shapes this workspace uses: structs with named fields, tuple
+//! structs (newtype and wider), unit structs, and enums whose variants
+//! are unit, tuple, or struct-like — all optionally generic over type
+//! parameters (each type parameter gets the respective trait bound).
+//!
+//! Wire conventions match serde_json's defaults (see the `serde` shim's
+//! crate docs).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit(gen_serialize(&item))
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit(gen_deserialize(&item))
+}
+
+fn emit(code: String) -> TokenStream {
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde shim derive produced invalid code: {e}\n{code}"))
+}
+
+// ---------------------------------------------------------------------
+// A minimal model of the derive input.
+// ---------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    /// Raw generic parameter declarations, e.g. `["T: Clone", "'a"]`.
+    params: Vec<Param>,
+    shape: Shape,
+}
+
+struct Param {
+    /// The bare name used in the `for Name<...>` position (`T`, `'a`).
+    name: String,
+    /// The declaration with any inline bounds (`T: Clone`).
+    decl: String,
+    /// Whether this is a type parameter (gets the trait bound).
+    is_type: bool,
+}
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+// ---------------------------------------------------------------------
+// Token walking.
+// ---------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c)
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    /// Skips outer attributes (`#[...]`) and doc comments.
+    fn skip_attrs(&mut self) {
+        while self.at_punct('#') {
+            self.next();
+            // Optional `!` for inner attributes (not expected, but safe).
+            if self.at_punct('!') {
+                self.next();
+            }
+            self.next(); // the [...] group
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_vis(&mut self) {
+        if self.at_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_vis();
+
+    let kind = match c.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match c.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+
+    let params = if c.at_punct('<') {
+        parse_generics(&mut c)
+    } else {
+        Vec::new()
+    };
+
+    // Skip a `where` clause if present (none expected in this workspace).
+    if c.at_ident("where") {
+        while let Some(t) = c.peek() {
+            if matches!(t, TokenTree::Group(g) if g.delimiter() == Delimiter::Brace) {
+                break;
+            }
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ';') {
+                break;
+            }
+            c.next();
+        }
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        },
+        "enum" => match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde shim derive: cannot derive for '{other}'"),
+    };
+
+    Item {
+        name,
+        params,
+        shape,
+    }
+}
+
+/// Parses `<...>` generic parameters; the cursor sits on the `<`.
+fn parse_generics(c: &mut Cursor) -> Vec<Param> {
+    c.next(); // consume '<'
+    let mut depth = 1usize;
+    let mut segments: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    while depth > 0 {
+        let t = c
+            .next()
+            .unwrap_or_else(|| panic!("serde shim derive: unterminated generics"));
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                segments.last_mut().unwrap().push(t);
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth > 0 {
+                    segments.last_mut().unwrap().push(t);
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                segments.push(Vec::new());
+            }
+            _ => segments.last_mut().unwrap().push(t),
+        }
+    }
+    segments
+        .into_iter()
+        .filter(|seg| !seg.is_empty())
+        .map(|seg| {
+            // Strip a `= default` suffix if present.
+            let mut decl_toks: Vec<TokenTree> = Vec::new();
+            let mut d = 0usize;
+            for t in &seg {
+                match t {
+                    TokenTree::Punct(p) if p.as_char() == '<' => d += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => d = d.saturating_sub(1),
+                    TokenTree::Punct(p) if p.as_char() == '=' && d == 0 => break,
+                    _ => {}
+                }
+                decl_toks.push(t.clone());
+            }
+            let decl = tokens_to_string(&decl_toks);
+            match &seg[0] {
+                TokenTree::Punct(p) if p.as_char() == '\'' => {
+                    // Lifetime: name is `'ident`.
+                    let id = match seg.get(1) {
+                        Some(TokenTree::Ident(i)) => i.to_string(),
+                        _ => panic!("serde shim derive: malformed lifetime parameter"),
+                    };
+                    Param {
+                        name: format!("'{id}"),
+                        decl,
+                        is_type: false,
+                    }
+                }
+                TokenTree::Ident(i) if i.to_string() == "const" => {
+                    let id = match seg.get(1) {
+                        Some(TokenTree::Ident(i)) => i.to_string(),
+                        _ => panic!("serde shim derive: malformed const parameter"),
+                    };
+                    Param {
+                        name: id,
+                        decl,
+                        is_type: false,
+                    }
+                }
+                TokenTree::Ident(i) => Param {
+                    name: i.to_string(),
+                    decl,
+                    is_type: true,
+                },
+                other => panic!("serde shim derive: unsupported generic parameter {other:?}"),
+            }
+        })
+        .collect()
+}
+
+/// Parses `name: Type, ...` named fields, skipping attributes and
+/// visibility; types are not needed (codegen relies on inference).
+fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(ts);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attrs();
+        c.skip_vis();
+        let name = match c.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected field name, got {other:?}"),
+        };
+        fields.push(name);
+        // Expect ':' then the type, up to a top-level ','.
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected ':', got {other:?}"),
+        }
+        let mut depth = 0usize;
+        loop {
+            match c.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    depth += 1;
+                    c.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    depth = depth.saturating_sub(1);
+                    c.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    c.next();
+                    break;
+                }
+                _ => {
+                    c.next();
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Counts top-level comma-separated fields of a tuple struct/variant.
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut c = Cursor::new(ts);
+    let mut count = 0usize;
+    let mut depth = 0usize;
+    let mut saw_tokens = false;
+    loop {
+        // Skip per-field attributes/visibility at field starts.
+        if depth == 0 && !saw_tokens {
+            c.skip_attrs();
+            c.skip_vis();
+        }
+        match c.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                depth += 1;
+                saw_tokens = true;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                depth = depth.saturating_sub(1);
+                saw_tokens = true;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                if saw_tokens {
+                    count += 1;
+                }
+                saw_tokens = false;
+            }
+            Some(_) => saw_tokens = true,
+        }
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(ts);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs();
+        let name = match c.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected variant name, got {other:?}"),
+        };
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.next();
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.next();
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the comma.
+        if c.at_punct('=') {
+            while let Some(t) = c.peek() {
+                if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+                let _ = t;
+                c.next();
+            }
+        }
+        if c.at_punct(',') {
+            c.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn tokens_to_string(toks: &[TokenTree]) -> String {
+    let mut s = String::new();
+    for t in toks {
+        if !s.is_empty() {
+            s.push(' ');
+        }
+        s.push_str(&t.to_string());
+    }
+    s
+}
+
+// ---------------------------------------------------------------------
+// Code generation.
+// ---------------------------------------------------------------------
+
+/// `impl<...bounded params...> Trait for Name<...param names...>`.
+fn impl_header(item: &Item, trait_path: &str) -> String {
+    let mut header = String::from("impl");
+    if !item.params.is_empty() {
+        header.push('<');
+        for (i, p) in item.params.iter().enumerate() {
+            if i > 0 {
+                header.push_str(", ");
+            }
+            header.push_str(&p.decl);
+            if p.is_type {
+                if p.decl.contains(':') {
+                    header.push_str(&format!(" + {trait_path}"));
+                } else {
+                    header.push_str(&format!(": {trait_path}"));
+                }
+            }
+        }
+        header.push('>');
+    }
+    header.push_str(&format!(" {trait_path} for {}", item.name));
+    if !item.params.is_empty() {
+        header.push('<');
+        for (i, p) in item.params.iter().enumerate() {
+            if i > 0 {
+                header.push_str(", ");
+            }
+            header.push_str(&p.name);
+        }
+        header.push('>');
+    }
+    header
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::serialize(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::json::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::json::Value::Array(::std::vec![{}])",
+                items.join(", ")
+            )
+        }
+        Shape::Unit => "::serde::json::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                let ty = &item.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push(format!(
+                        "{ty}::{vn} => ::serde::json::Value::Str(::std::string::String::from(\"{vn}\"))"
+                    )),
+                    VariantShape::Tuple(1) => arms.push(format!(
+                        "{ty}::{vn}(__f0) => ::serde::json::tagged(\"{vn}\", ::serde::Serialize::serialize(__f0))"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        arms.push(format!(
+                            "{ty}::{vn}({}) => ::serde::json::tagged(\"{vn}\", ::serde::json::Value::Array(::std::vec![{}]))",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::serialize({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push(format!(
+                            "{ty}::{vn} {{ {binds} }} => ::serde::json::tagged(\"{vn}\", ::serde::json::Value::Object(::std::vec![{}]))",
+                            entries.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n{} {{\n    fn serialize(&self) -> ::serde::json::Value {{\n        {body}\n    }}\n}}\n",
+        impl_header(item, "::serde::Serialize")
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::json::field(__obj, \"{f}\")?"))
+                .collect();
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| ::serde::json::Error::expected(\"object for {name}\", __v))?;\n        ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))")
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __v.as_array().ok_or_else(|| ::serde::json::Error::expected(\"array for {name}\", __v))?;\n        if __items.len() != {n} {{ return ::std::result::Result::Err(::serde::json::Error::msg(\"wrong tuple arity for {name}\")); }}\n        ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut data_arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => unit_arms.push(format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn})"
+                    )),
+                    VariantShape::Tuple(1) => data_arms.push(format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::deserialize(__payload)?))"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::deserialize(&__items[{i}])?"))
+                            .collect();
+                        data_arms.push(format!(
+                            "\"{vn}\" => {{ let __items = __payload.as_array().ok_or_else(|| ::serde::json::Error::expected(\"array for {name}::{vn}\", __payload))?; if __items.len() != {n} {{ return ::std::result::Result::Err(::serde::json::Error::msg(\"wrong arity for {name}::{vn}\")); }} ::std::result::Result::Ok({name}::{vn}({})) }}",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::json::field(__fields, \"{f}\")?"))
+                            .collect();
+                        data_arms.push(format!(
+                            "\"{vn}\" => {{ let __fields = __payload.as_object().ok_or_else(|| ::serde::json::Error::expected(\"object for {name}::{vn}\", __payload))?; ::std::result::Result::Ok({name}::{vn} {{ {} }}) }}",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            unit_arms.push(format!(
+                "__other => ::std::result::Result::Err(::serde::json::Error::msg(::std::format!(\"unknown {name} variant '{{__other}}'\")))"
+            ));
+            data_arms.push(format!(
+                "__other => ::std::result::Result::Err(::serde::json::Error::msg(::std::format!(\"unknown {name} variant '{{__other}}'\")))"
+            ));
+            format!(
+                "match __v {{\n            ::serde::json::Value::Str(__s) => match __s.as_str() {{ {} }},\n            ::serde::json::Value::Object(__entries) if __entries.len() == 1 => {{\n                let (__tag, __payload) = &__entries[0];\n                match __tag.as_str() {{ {} }}\n            }}\n            __other => ::std::result::Result::Err(::serde::json::Error::expected(\"enum {name}\", __other)),\n        }}",
+                unit_arms.join(", "),
+                data_arms.join(", ")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n{} {{\n    fn deserialize(__v: &::serde::json::Value) -> ::std::result::Result<Self, ::serde::json::Error> {{\n        {body}\n    }}\n}}\n",
+        impl_header(item, "::serde::Deserialize")
+    )
+}
