@@ -7,6 +7,7 @@ use std::path::PathBuf;
 use std::process::{Command, Output};
 
 const FIG3: &str = env!("CARGO_BIN_EXE_fig3_flaps");
+const TBL_FAULTS: &str = env!("CARGO_BIN_EXE_tbl_faults");
 
 fn fresh_dir(tag: &str) -> PathBuf {
     let dir =
@@ -61,6 +62,75 @@ fn warm_cache_executes_zero_cells() {
     assert_eq!(
         cold.stdout, warm.stdout,
         "cached results must reproduce the cold-run output exactly"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+fn run_tbl_faults(dir: &PathBuf, extra: &[&str]) -> Output {
+    let mut args = vec!["--bug", "c3831", "--scales", "8"];
+    args.extend_from_slice(extra);
+    Command::new(TBL_FAULTS)
+        .args(&args)
+        .current_dir(dir)
+        .output()
+        .expect("spawn tbl_faults")
+}
+
+#[test]
+fn fault_plans_change_the_cell_digest() {
+    use scalecheck::{CellSpec, ExecMode};
+    use scalecheck_bench::sweep::digest;
+    use scalecheck_cluster::{FaultPlan, ScenarioConfig};
+
+    let cfg = ScenarioConfig::c3831(8, 1);
+    let key = |spec: &CellSpec| digest(&serde_json::to_value(spec).expect("spec serializes"));
+
+    let plain = CellSpec::new(cfg.clone(), ExecMode::Real);
+    let stormy = CellSpec::new(
+        cfg.clone().with_faults(FaultPlan::storm(1, 8, 0.5)),
+        ExecMode::Real,
+    );
+    assert_ne!(
+        key(&plain),
+        key(&stormy),
+        "cells differing only in FaultPlan must digest differently"
+    );
+    // The same plan re-built from the same triple digests identically
+    // (warm-cache hit for identical faulty cells).
+    let stormy_again = CellSpec::new(cfg.with_faults(FaultPlan::storm(1, 8, 0.5)), ExecMode::Real);
+    assert_eq!(key(&stormy), key(&stormy_again));
+}
+
+#[test]
+fn fault_plans_key_the_sweep_cache_end_to_end() {
+    let dir = fresh_dir("faults");
+    let cold = run_tbl_faults(&dir, &["--intensities", "0.4"]);
+    assert!(cold.status.success(), "cold tbl_faults run failed");
+    let cold_err = String::from_utf8_lossy(&cold.stderr);
+    assert!(
+        cold_err.contains("3 executed, 0 cached"),
+        "cold faulty sweep should execute all 3 cells, got: {cold_err}"
+    );
+
+    // Identical (scenario, plan, seed): everything served warm and the
+    // table reproduced byte for byte.
+    let warm = run_tbl_faults(&dir, &["--intensities", "0.4"]);
+    assert!(warm.status.success(), "warm tbl_faults run failed");
+    let warm_err = String::from_utf8_lossy(&warm.stderr);
+    assert!(
+        warm_err.contains("0 executed, 3 cached"),
+        "identical fault plan should hit the cache, got: {warm_err}"
+    );
+    assert_eq!(cold.stdout, warm.stdout);
+
+    // Same scenario and seed, different fault intensity: the plan is
+    // the only difference, and every cell must miss.
+    let other = run_tbl_faults(&dir, &["--intensities", "0.7"]);
+    assert!(other.status.success(), "second-intensity run failed");
+    let other_err = String::from_utf8_lossy(&other.stderr);
+    assert!(
+        other_err.contains("3 executed, 0 cached"),
+        "a different fault plan must not reuse cached results, got: {other_err}"
     );
     let _ = fs::remove_dir_all(&dir);
 }

@@ -8,7 +8,7 @@
 //! time.
 
 use scalecheck_net::NetworkConfig;
-use scalecheck_sim::SimDuration;
+use scalecheck_sim::{FaultPlan, SimDuration};
 use serde::{Deserialize, Serialize};
 
 /// Which historical pending-range calculator the cluster runs.
@@ -185,6 +185,9 @@ pub struct ScenarioConfig {
     pub memory: MemoryConfig,
     /// Network fabric parameters (latency distribution, loss).
     pub network: NetworkConfig,
+    /// Scheduled fault injections (empty plan = no faults). Part of the
+    /// serialized config, so sweep cache keys distinguish plans.
+    pub faults: FaultPlan,
     /// Client availability probe (the paper's user-visible impact:
     /// "making some data not reachable by the users").
     pub client: crate::datapath::ClientConfig,
@@ -227,6 +230,7 @@ impl ScenarioConfig {
             per_endpoint_cost: SimDuration::from_micros(2),
             memory: MemoryConfig::default(),
             network: NetworkConfig::default(),
+            faults: FaultPlan::default(),
             client: crate::datapath::ClientConfig::light(),
             trace_events: false,
             global_event_queue: false,
@@ -313,6 +317,12 @@ impl ScenarioConfig {
         self
     }
 
+    /// Attaches a fault plan, leaving everything else untouched.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Total nodes including any scale-out joiners.
     pub fn total_nodes(&self) -> usize {
         match self.workload {
@@ -325,6 +335,7 @@ impl ScenarioConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use scalecheck_sim::SimTime;
 
     #[test]
     fn presets_pick_the_right_bug_axes() {
@@ -352,6 +363,16 @@ mod tests {
         assert_eq!(cfg.total_nodes(), 66);
         let cfg = ScenarioConfig::c3831(64, 1);
         assert_eq!(cfg.total_nodes(), 64);
+    }
+
+    #[test]
+    fn fault_plans_ride_in_the_config() {
+        let base = ScenarioConfig::baseline(8, 1);
+        assert!(base.faults.is_empty(), "baseline injects nothing");
+        let plan = FaultPlan::new().crash(SimTime::from_secs(50), 3);
+        let cfg = ScenarioConfig::baseline(8, 1).with_faults(plan.clone());
+        assert_eq!(cfg.faults, plan);
+        assert_eq!(cfg.n_nodes, base.n_nodes);
     }
 
     #[test]

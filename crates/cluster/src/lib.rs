@@ -51,4 +51,5 @@ pub use node::{Envelope, GossipMessage, Node, Task, ViewChanges};
 pub use report::RunReport;
 pub use ringinfo::{addr_of, node_of, peer_of, RingInfo};
 pub use runner::{run_scenario, run_scenario_with_db, ClusterState, StageKind};
+pub use scalecheck_sim::{FaultEvent, FaultPlan, FaultReport, FiredFault};
 pub use trace::{TraceEvent, TraceLog};

@@ -119,6 +119,12 @@ pub struct Node {
     pub held: Vec<(SimTime, Envelope)>,
     /// Bytes currently allocated to rebalance partition services.
     pub rebalance_bytes: u64,
+    /// Forward offset of this node's local clock (fault-injected clock
+    /// skew); failure detection reads `now + clock_skew`.
+    pub clock_skew: SimDuration,
+    /// Bumped on fault crash/restart; periodic timer chains carry the
+    /// epoch they were scheduled under and die when it moves on.
+    pub timer_epoch: u64,
     link_seq: BTreeMap<(NodeId, u8), u64>,
 }
 
@@ -152,6 +158,8 @@ impl Node {
             parked_calc: None,
             held: Vec::new(),
             rebalance_bytes: 0,
+            clock_skew: SimDuration::ZERO,
+            timer_epoch: 0,
             link_seq: BTreeMap::new(),
         }
     }

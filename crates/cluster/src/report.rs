@@ -1,7 +1,7 @@
 //! Aggregated results of one cluster run.
 
 use scalecheck_memo::MemoStats;
-use scalecheck_sim::{SimDuration, TimeSeries};
+use scalecheck_sim::{FaultReport, SimDuration, TimeSeries};
 use serde::{Deserialize, Serialize};
 
 use crate::calc::CalcStats;
@@ -59,6 +59,9 @@ pub struct RunReport {
     /// Client quorum operations that failed (no quorum of live
     /// replicas — the paper's "data not reachable by the users").
     pub client_ops_failed: u64,
+    /// What the run's fault plan did (all zeros/empty under the default
+    /// empty plan).
+    pub faults: FaultReport,
     /// Deterministic event trace (empty unless `trace_events` was set).
     pub trace: TraceLog,
 }
@@ -108,6 +111,7 @@ mod tests {
             order_forced_releases: 0,
             client_ops_attempted: 0,
             client_ops_failed: 0,
+            faults: FaultReport::default(),
             trace: TraceLog::default(),
         };
         assert!((r.flaps_k() - 2.5).abs() < 1e-9);

@@ -19,13 +19,15 @@
 //! calculation runs on its own stage but couples through the ring lock
 //! (C5456) unless it snapshots (the fix).
 
+use std::collections::BTreeMap;
+
 use scalecheck_gossip::Liveness;
 use scalecheck_memo::{OrderDecision, OrderEnforcer, OrderRecorder};
-use scalecheck_net::Network;
+use scalecheck_net::{Addr, Network};
 use scalecheck_ring::{spread_tokens, NodeId, NodeStatus, PendingRanges, RingTable};
 use scalecheck_sim::{
-    Acquire, Ctx, CtxSwitchModel, Engine, LockId, LockTable, Machine, MachinePark, MemoryModel,
-    SimDuration, SimTime, Stage, TimeSeries,
+    Acquire, Ctx, CtxSwitchModel, Engine, FaultEvent, FaultReport, FiredFault, LockId, LockTable,
+    Machine, MachinePark, MemoryModel, SimDuration, SimTime, Stage, TimeSeries,
 };
 
 use crate::calc::{CalcEngine, PendingWire};
@@ -75,6 +77,11 @@ pub struct ClusterState {
     crashed: u64,
     workload_end_at: SimTime,
     stopped_quiescent: bool,
+    fault_fired: Vec<FiredFault>,
+    fault_crash_at: BTreeMap<u32, SimTime>,
+    fault_downtime: BTreeMap<u32, SimDuration>,
+    fault_crashes: u64,
+    fault_restarts: u64,
 }
 
 impl ClusterState {
@@ -241,15 +248,53 @@ fn build(cfg: &ScenarioConfig, calc: CalcEngine) -> ClusterState {
         }
     }
 
+    // Per-link fault windows are pure network state: install them up
+    // front; the time bounds make them self-activating.
+    let mut net = Network::new(cfg.network);
+    for ev in &cfg.faults.events {
+        match *ev {
+            FaultEvent::DropWindow {
+                from,
+                until,
+                src,
+                dst,
+                probability,
+            } => net.add_drop_window(from, until, src.map(Addr), dst.map(Addr), probability),
+            FaultEvent::DelayWindow {
+                from,
+                until,
+                src,
+                dst,
+                extra,
+            } => net.add_delay_window(from, until, src.map(Addr), dst.map(Addr), extra),
+            FaultEvent::DuplicateWindow {
+                from,
+                until,
+                src,
+                dst,
+                probability,
+            } => net.add_duplicate_window(from, until, src.map(Addr), dst.map(Addr), probability),
+            _ => {}
+        }
+    }
+
+    // The run must not quiesce before every scheduled fault has fired
+    // (and its convictions had time to land).
+    let fault_horizon = if cfg.faults.is_empty() {
+        SimTime::ZERO
+    } else {
+        cfg.faults.end_time() + FAULT_SETTLE
+    };
+
     let client_rng = root_rng.fork(999_983);
     ClusterState {
-        workload_end_at: SimTime::ZERO + cfg.workload_end,
+        workload_end_at: (SimTime::ZERO + cfg.workload_end).max(fault_horizon),
         client_rng,
         client_stats: crate::datapath::ClientStats::default(),
         trace: crate::trace::TraceLog::new(cfg.trace_events),
         cfg: cfg.clone(),
         nodes,
-        net: Network::new(cfg.network),
+        net,
         park,
         machine_mem,
         locks,
@@ -264,8 +309,18 @@ fn build(cfg: &ScenarioConfig, calc: CalcEngine) -> ClusterState {
         flap_series: TimeSeries::new(),
         crashed: 0,
         stopped_quiescent: false,
+        fault_fired: Vec::new(),
+        fault_crash_at: BTreeMap::new(),
+        fault_downtime: BTreeMap::new(),
+        fault_crashes: 0,
+        fault_restarts: 0,
     }
 }
+
+/// How long after the last fault fires the run keeps going before
+/// quiescence may stop it: φ conviction of a silent peer takes ~18 s at
+/// threshold 8, plus gossip rounds to recover after heals.
+const FAULT_SETTLE: SimDuration = SimDuration::from_secs(45);
 
 // ---------------------------------------------------------------------
 // Node activation and per-node timers.
@@ -302,28 +357,33 @@ fn activate(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>, i: usize, in
         interval.as_nanos() * (i as u64 % st.cfg.total_nodes() as u64)
             / st.cfg.total_nodes().max(1) as u64,
     );
-    ctx.schedule_after(stagger, move |st, ctx| gossip_round(st, ctx, i));
+    let epoch = st.nodes[i].timer_epoch;
+    ctx.schedule_after(stagger, move |st, ctx| gossip_round(st, ctx, i, epoch));
     let fd_interval = st.cfg.fd_interval;
-    ctx.schedule_after(stagger + fd_interval, move |st, ctx| fd_check(st, ctx, i));
+    ctx.schedule_after(stagger + fd_interval, move |st, ctx| {
+        fd_check(st, ctx, i, epoch)
+    });
 }
 
-fn gossip_round(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>, i: usize) {
+fn gossip_round(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>, i: usize, epoch: u64) {
     let node = &mut st.nodes[i];
-    if !node.active || node.departed {
+    if node.timer_epoch != epoch || !node.active || node.departed {
         return;
     }
     node.gossip_stage.push(ctx.now(), Task::SendRound);
     pump(st, ctx, i, StageKind::Gossip);
     let interval = st.cfg.gossip_interval;
-    ctx.schedule_after(interval, move |st, ctx| gossip_round(st, ctx, i));
+    ctx.schedule_after(interval, move |st, ctx| gossip_round(st, ctx, i, epoch));
 }
 
-fn fd_check(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>, i: usize) {
+fn fd_check(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>, i: usize, epoch: u64) {
     let node = &mut st.nodes[i];
-    if !node.active || node.departed {
+    if node.timer_epoch != epoch || !node.active || node.departed {
         return;
     }
-    let newly_dead = node.fd.interpret_all(ctx.now());
+    // Failure detection runs on the node's local clock, which may be
+    // fault-skewed ahead of virtual time.
+    let newly_dead = node.fd.interpret_all(ctx.now() + node.clock_skew);
     let observer = node.id;
     for peer in newly_dead {
         st.trace.push(crate::trace::TraceEvent::Convicted {
@@ -333,7 +393,7 @@ fn fd_check(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>, i: usize) {
         });
     }
     let interval = st.cfg.fd_interval;
-    ctx.schedule_after(interval, move |st, ctx| fd_check(st, ctx, i));
+    ctx.schedule_after(interval, move |st, ctx| fd_check(st, ctx, i, epoch));
 }
 
 // ---------------------------------------------------------------------
@@ -623,7 +683,8 @@ fn finish_receive(
                 .chain(outcome.app_advanced.iter())
                 .copied()
                 .collect();
-            let view = node.apply_outcome(&outcome, now);
+            let local_now = now + node.clock_skew;
+            let view = node.apply_outcome(&outcome, local_now);
             let window_open = node.pending_window_open();
             let touched_pending = touched.iter().any(|p| {
                 node.gossiper.endpoint(*p).is_some_and(|s| {
@@ -763,10 +824,17 @@ fn send_msg(
     let key = st.nodes[i].next_key(dst, kind);
     let src = st.nodes[i].id;
     let now = ctx.now();
-    if let Ok((_id, deliver_at)) = st.net.send(now, ctx.rng(), addr_of(src), addr_of(dst)) {
+    if let Ok(d) = st.net.offer(now, ctx.rng(), addr_of(src), addr_of(dst)) {
         st.inflight += 1;
         let env = Envelope { src, dst, key, msg };
-        ctx.schedule_at(deliver_at, move |st, ctx| deliver(st, ctx, env));
+        if let Some(dup_at) = d.duplicate_at {
+            // A duplication window fired: the same envelope arrives
+            // twice (gossip application is idempotent on stale state).
+            st.inflight += 1;
+            let dup = env.clone();
+            ctx.schedule_at(dup_at, move |st, ctx| deliver(st, ctx, dup));
+        }
+        ctx.schedule_at(d.deliver_at, move |st, ctx| deliver(st, ctx, env));
     }
 }
 
@@ -908,6 +976,151 @@ fn schedule_workload(engine: &mut Engine<ClusterState>, cfg: &ScenarioConfig) {
 }
 
 // ---------------------------------------------------------------------
+// Fault injection.
+// ---------------------------------------------------------------------
+
+/// Schedules every event of the scenario's fault plan on the engine's
+/// virtual clock. Same-time events fire in plan order (the engine
+/// breaks time ties by schedule sequence), so the fired-fault log is
+/// deterministic.
+fn schedule_faults(engine: &mut Engine<ClusterState>, cfg: &ScenarioConfig) {
+    for ev in cfg.faults.events.clone() {
+        engine.schedule_at(ev.at(), move |st: &mut ClusterState, ctx| {
+            fire_fault(st, ctx, &ev)
+        });
+    }
+}
+
+fn fire_fault(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>, ev: &FaultEvent) {
+    let now = ctx.now();
+    let label = ev.label();
+    st.trace.push(crate::trace::TraceEvent::FaultInjected {
+        at: now,
+        label: label.clone(),
+    });
+    st.fault_fired.push(FiredFault { at: now, label });
+    match ev {
+        FaultEvent::Partition { a, b, .. } => set_partition(st, a, b, true),
+        FaultEvent::Heal { a, b, .. } => set_partition(st, a, b, false),
+        FaultEvent::Crash { node, .. } => crash_node(st, ctx, *node as usize),
+        FaultEvent::Restart { node, .. } => restart_node(st, ctx, *node as usize),
+        FaultEvent::ClockSkew { node, skew, .. } => {
+            let i = *node as usize;
+            if i < st.nodes.len() && st.nodes[i].active && !st.nodes[i].departed {
+                st.nodes[i].clock_skew = *skew;
+                // Every conviction the skewed node issues from here on
+                // is the fault's doing.
+                st.nodes[i].fd.mark_all_fault_suspects();
+            }
+        }
+        // Drop/delay/duplicate windows were installed into the network
+        // at build time; firing them only logs the window opening.
+        FaultEvent::DropWindow { .. }
+        | FaultEvent::DelayWindow { .. }
+        | FaultEvent::DuplicateWindow { .. } => {}
+    }
+}
+
+/// Installs or removes a partition between node sets `a` and `b`, and
+/// marks (or clears) cross-cut flap attribution on both sides.
+fn set_partition(st: &mut ClusterState, a: &[u32], b: &[u32], up: bool) {
+    for &x in a {
+        for &y in b {
+            if up {
+                st.net.partition(Addr(x), Addr(y));
+            } else {
+                st.net.heal(Addr(x), Addr(y));
+            }
+            let (xi, yi) = (x as usize, y as usize);
+            if xi < st.nodes.len() && yi < st.nodes.len() {
+                st.nodes[xi].fd.set_fault_suspect(peer_of(NodeId(y)), up);
+                st.nodes[yi].fd.set_fault_suspect(peer_of(NodeId(x)), up);
+            }
+        }
+    }
+}
+
+/// Kills node `i`'s process: it stops processing, sending, and timing,
+/// but keeps its gossip identity for a later restart. Distinct from
+/// decommission (the node does not leave the ring) and from OOM death
+/// (which is permanent).
+fn crash_node(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>, i: usize) {
+    if i >= st.nodes.len() || !st.nodes[i].active || st.nodes[i].departed {
+        return;
+    }
+    let now = ctx.now();
+    let node = &mut st.nodes[i];
+    node.active = false;
+    // Kill the periodic timer chains; in-flight stage completions still
+    // drain through the idle `active` checks.
+    node.timer_epoch += 1;
+    node.gossip_stage.clear();
+    node.calc_stage.clear();
+    node.parked_gossip = None;
+    node.parked_calc = None;
+    node.held.clear();
+    node.calc_dirty = false;
+    node.calc_queued = false;
+    let peer = peer_of(node.id);
+    let id = node.id;
+    st.fault_crash_at.insert(i as u32, now);
+    st.fault_crashes += 1;
+    for k in 0..st.nodes.len() {
+        if k != i {
+            st.nodes[k].fd.set_fault_suspect(peer, true);
+        }
+    }
+    st.trace
+        .push(crate::trace::TraceEvent::NodeCrashed { at: now, node: id });
+}
+
+/// Brings a fault-crashed node back: fresh gossip generation, empty
+/// failure-detection history, restarted timers. No-op unless the node
+/// is currently down from a [`FaultEvent::Crash`].
+fn restart_node(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>, i: usize) {
+    if i >= st.nodes.len() || st.nodes[i].active || st.nodes[i].departed {
+        return;
+    }
+    let Some(down_at) = st.fault_crash_at.remove(&(i as u32)) else {
+        return;
+    };
+    let now = ctx.now();
+    *st.fault_downtime
+        .entry(i as u32)
+        .or_insert(SimDuration::ZERO) += now.since(down_at);
+    st.fault_restarts += 1;
+
+    let vnodes = st.cfg.vnodes;
+    let node = &mut st.nodes[i];
+    node.timer_epoch += 1;
+    node.active = true;
+    node.clock_skew = SimDuration::ZERO;
+    node.gossiper.restart();
+    node.fd.reset_monitoring();
+    // Re-announce with the status the node's own ring view still holds;
+    // the bumped generation makes peers take the fresh state.
+    let status = node
+        .ring
+        .node(node.id)
+        .map(|s| s.status)
+        .unwrap_or(NodeStatus::Normal);
+    let tokens = spread_tokens(node.id, vnodes);
+    node.announce(RingInfo { status, tokens });
+    let peer = peer_of(node.id);
+    let epoch = node.timer_epoch;
+    for k in 0..st.nodes.len() {
+        if k != i {
+            st.nodes[k].fd.set_fault_suspect(peer, false);
+        }
+    }
+    ctx.schedule_after(SimDuration::ZERO, move |st, ctx| {
+        gossip_round(st, ctx, i, epoch)
+    });
+    let fd_interval = st.cfg.fd_interval;
+    ctx.schedule_after(fd_interval, move |st, ctx| fd_check(st, ctx, i, epoch));
+}
+
+// ---------------------------------------------------------------------
 // The run loop.
 // ---------------------------------------------------------------------
 
@@ -974,6 +1187,7 @@ pub fn run_scenario_with_db(
         );
     }
     schedule_workload(&mut engine, cfg);
+    schedule_faults(&mut engine, cfg);
 
     // Flap-series sampling.
     fn sample_flaps(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>) {
@@ -1073,7 +1287,26 @@ fn assemble_report(st: &ClusterState, ended: SimTime) -> RunReport {
         order_forced_releases: st.forced_releases,
         client_ops_attempted: st.client_stats.attempted,
         client_ops_failed: st.client_stats.failed,
+        faults: assemble_fault_report(st, ended),
         trace: st.trace.clone(),
+    }
+}
+
+fn assemble_fault_report(st: &ClusterState, ended: SimTime) -> FaultReport {
+    // Nodes still down at run end accrue downtime through `ended`.
+    let mut downtime = st.fault_downtime.clone();
+    for (&node, &down_at) in &st.fault_crash_at {
+        *downtime.entry(node).or_insert(SimDuration::ZERO) += ended.since(down_at);
+    }
+    FaultReport {
+        fired: st.fault_fired.clone(),
+        crashes: st.fault_crashes,
+        restarts: st.fault_restarts,
+        fault_dropped: st.net.dropped_by_fault() + st.net.dropped_by_partition(),
+        fault_delayed: st.net.fault_delayed(),
+        fault_duplicated: st.net.fault_duplicated(),
+        downtime,
+        attributed_flaps: st.nodes.iter().map(|n| n.fd.fault_attributed_flaps()).sum(),
     }
 }
 

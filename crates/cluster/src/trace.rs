@@ -40,6 +40,13 @@ pub enum TraceEvent {
         /// The crashed node.
         node: NodeId,
     },
+    /// A scheduled fault from the run's `FaultPlan` fired.
+    FaultInjected {
+        /// Virtual time.
+        at: SimTime,
+        /// Human-readable fault description.
+        label: String,
+    },
     /// `node` changed its gossiped ring status (the workload's moves).
     StatusAnnounced {
         /// Virtual time.
@@ -58,6 +65,7 @@ impl TraceEvent {
             TraceEvent::Convicted { at, .. }
             | TraceEvent::CalcFinished { at, .. }
             | TraceEvent::NodeCrashed { at, .. }
+            | TraceEvent::FaultInjected { at, .. }
             | TraceEvent::StatusAnnounced { at, .. } => *at,
         }
     }

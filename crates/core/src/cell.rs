@@ -55,7 +55,8 @@ impl ExecMode {
 
 /// One cell's full configuration: everything that determines its
 /// result, and nothing else. Serializing this is the content-addressed
-/// cache key.
+/// cache key. Because the scenario embeds its `FaultPlan`, two cells
+/// differing only in injected faults digest to different keys.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct CellSpec {
     /// The complete scenario (includes bug shape, scale, and seed).

@@ -6,7 +6,7 @@
 //! counts alive→dead transitions — the y-axis of every panel in
 //! Figure 3.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use scalecheck_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -32,6 +32,8 @@ pub struct FailureDetector {
     verdicts: BTreeMap<Peer, Liveness>,
     flaps: u64,
     recoveries: u64,
+    fault_suspects: BTreeSet<Peer>,
+    fault_attributed: u64,
 }
 
 impl FailureDetector {
@@ -45,6 +47,8 @@ impl FailureDetector {
             verdicts: BTreeMap::new(),
             flaps: 0,
             recoveries: 0,
+            fault_suspects: BTreeSet::new(),
+            fault_attributed: 0,
         }
     }
 
@@ -72,6 +76,9 @@ impl FailureDetector {
             if *verdict == Liveness::Alive && det.phi(now) > self.threshold {
                 *verdict = Liveness::Dead;
                 self.flaps += 1;
+                if self.fault_suspects.contains(&peer) {
+                    self.fault_attributed += 1;
+                }
                 newly_dead.push(peer);
             }
         }
@@ -100,6 +107,40 @@ impl FailureDetector {
     /// Total dead→alive transitions (recoveries).
     pub fn recoveries(&self) -> u64 {
         self.recoveries
+    }
+
+    /// Marks or clears `peer` as under an injected fault (crashed,
+    /// partitioned away, or clock-stepped). While marked, convictions of
+    /// `peer` are counted as fault-attributed flaps.
+    pub fn set_fault_suspect(&mut self, peer: Peer, suspected: bool) {
+        if suspected {
+            self.fault_suspects.insert(peer);
+        } else {
+            self.fault_suspects.remove(&peer);
+        }
+    }
+
+    /// Marks every currently monitored peer as under an injected fault
+    /// (e.g. the local clock stepped: any conviction we issue is the
+    /// fault's doing).
+    pub fn mark_all_fault_suspects(&mut self) {
+        let peers: Vec<Peer> = self.detectors.keys().copied().collect();
+        self.fault_suspects.extend(peers);
+    }
+
+    /// Flaps whose convicted peer was a fault suspect at conviction
+    /// time.
+    pub fn fault_attributed_flaps(&self) -> u64 {
+        self.fault_attributed
+    }
+
+    /// Drops all per-peer monitoring state — a restarted process starts
+    /// with no inter-arrival history — while keeping the lifetime flap,
+    /// recovery, and attribution counters.
+    pub fn reset_monitoring(&mut self) {
+        self.detectors.clear();
+        self.verdicts.clear();
+        self.fault_suspects.clear();
     }
 
     /// The φ suspicion for `peer`, if monitored.
@@ -201,6 +242,49 @@ mod tests {
         assert!(newly.is_empty());
         assert_eq!(f.flaps(), 0);
         assert_eq!(f.liveness(Peer(1)), None);
+    }
+
+    #[test]
+    fn fault_suspects_attribute_their_flaps() {
+        let mut f = fd();
+        feed(&mut f, Peer(1), 0, 20);
+        feed(&mut f, Peer(2), 0, 20);
+        f.set_fault_suspect(Peer(1), true);
+        // Both go silent; only peer 1's conviction is fault-attributed.
+        f.interpret_all(secs(50));
+        assert_eq!(f.flaps(), 2);
+        assert_eq!(f.fault_attributed_flaps(), 1);
+        // Clearing the suspicion stops attribution for later flaps.
+        f.report(Peer(1), secs(50));
+        f.set_fault_suspect(Peer(1), false);
+        feed(&mut f, Peer(1), 51, 70);
+        f.interpret_all(secs(120));
+        assert_eq!(f.flaps(), 3);
+        assert_eq!(f.fault_attributed_flaps(), 1);
+    }
+
+    #[test]
+    fn mark_all_covers_every_monitored_peer() {
+        let mut f = fd();
+        feed(&mut f, Peer(1), 0, 20);
+        feed(&mut f, Peer(2), 0, 20);
+        f.mark_all_fault_suspects();
+        f.interpret_all(secs(50));
+        assert_eq!(f.fault_attributed_flaps(), 2);
+    }
+
+    #[test]
+    fn reset_monitoring_keeps_counters_but_drops_history() {
+        let mut f = fd();
+        feed(&mut f, Peer(1), 0, 20);
+        f.interpret_all(secs(50));
+        assert_eq!(f.flaps(), 1);
+        f.reset_monitoring();
+        assert_eq!(f.monitored(), 0);
+        assert_eq!(f.flaps(), 1, "lifetime counters survive a restart");
+        assert!(f.liveness(Peer(1)).is_none());
+        // No spurious conviction from pre-restart history.
+        assert!(f.interpret_all(secs(200)).is_empty());
     }
 
     #[test]

@@ -127,6 +127,24 @@ impl<A: Clone + PartialEq> Gossiper<A> {
         &self.map[&self.me].app
     }
 
+    /// This node's current generation.
+    pub fn my_generation(&self) -> u64 {
+        self.map[&self.me].heartbeat.generation
+    }
+
+    /// Restarts this node's process: the generation bumps and versions
+    /// reset, exactly as a crashed-and-restarted Cassandra process comes
+    /// back. Peers treat a higher generation as strictly fresher, so the
+    /// restarted state supersedes anything they remember.
+    pub fn restart(&mut self) {
+        self.version_clock = 0;
+        let me = self.me;
+        let st = self.map.get_mut(&me).expect("own state always present");
+        st.heartbeat.generation += 1;
+        st.heartbeat.version = 0;
+        st.app_version = 0;
+    }
+
     /// Builds a SYN covering everything this node knows.
     pub fn make_syn(&self) -> Syn {
         Syn {
@@ -351,6 +369,26 @@ mod tests {
         assert_eq!(out_a.app_advanced, vec![Peer(1)]);
         assert_eq!(a.endpoint(Peer(1)).unwrap().heartbeat.generation, 2);
         assert_eq!(a.endpoint(Peer(1)).unwrap().app, 777);
+    }
+
+    #[test]
+    fn restart_bumps_generation_and_supersedes_old_state() {
+        let (mut a, mut b) = two();
+        for _ in 0..3 {
+            b.beat();
+        }
+        round(&mut a, &mut b);
+        assert_eq!(a.endpoint(Peer(1)).unwrap().heartbeat.version, 4);
+        // b's process restarts in place.
+        b.restart();
+        assert_eq!(b.my_generation(), 2);
+        b.beat();
+        b.update_app(999);
+        // Despite lower versions, the higher generation wins at a.
+        let (out_a, _) = round(&mut a, &mut b);
+        assert_eq!(out_a.heartbeat_advanced, vec![Peer(1)]);
+        assert_eq!(a.endpoint(Peer(1)).unwrap().heartbeat.generation, 2);
+        assert_eq!(a.endpoint(Peer(1)).unwrap().app, 999);
     }
 
     #[test]

@@ -26,4 +26,4 @@ pub mod latency;
 pub mod network;
 
 pub use latency::LatencyModel;
-pub use network::{Addr, DeliveryRecord, DropReason, MessageId, Network, NetworkConfig};
+pub use network::{Addr, Delivery, DeliveryRecord, DropReason, MessageId, Network, NetworkConfig};

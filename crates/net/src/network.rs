@@ -57,6 +57,39 @@ pub enum DropReason {
     RandomLoss,
     /// The (src, dst) pair is partitioned.
     Partitioned,
+    /// An injected fault window dropped the message.
+    FaultLoss,
+}
+
+/// An accepted message's delivery schedule: the primary arrival plus an
+/// optional fault-injected duplicate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// The message id.
+    pub id: MessageId,
+    /// When the primary copy arrives.
+    pub deliver_at: SimTime,
+    /// When the duplicate arrives, if a duplication window fired.
+    pub duplicate_at: Option<SimTime>,
+}
+
+/// A time-bounded per-link fault window. `None` endpoints match any
+/// node; windows are active on `[from, until)`.
+#[derive(Clone, Copy, Debug)]
+struct FaultWindow {
+    from: SimTime,
+    until: SimTime,
+    src: Option<Addr>,
+    dst: Option<Addr>,
+}
+
+impl FaultWindow {
+    fn matches(&self, now: SimTime, src: Addr, dst: Addr) -> bool {
+        self.from <= now
+            && now < self.until
+            && self.src.is_none_or(|s| s == src)
+            && self.dst.is_none_or(|d| d == dst)
+    }
 }
 
 /// Network configuration.
@@ -85,10 +118,17 @@ pub struct Network {
     // Per-link clock enforcing FIFO delivery on each (src, dst) pair.
     link_clock: BTreeMap<(Addr, Addr), SimTime>,
     partitions: BTreeSet<(Addr, Addr)>,
+    drop_windows: Vec<(FaultWindow, f64)>,
+    delay_windows: Vec<(FaultWindow, SimDuration)>,
+    dup_windows: Vec<(FaultWindow, f64)>,
     trace: Vec<DeliveryRecord>,
     record_trace: bool,
     sent: Counter,
     dropped: Counter,
+    dropped_partition: Counter,
+    dropped_fault: Counter,
+    fault_delayed: Counter,
+    fault_duplicated: Counter,
 }
 
 impl Network {
@@ -99,11 +139,80 @@ impl Network {
             next_id: 0,
             link_clock: BTreeMap::new(),
             partitions: BTreeSet::new(),
+            drop_windows: Vec::new(),
+            delay_windows: Vec::new(),
+            dup_windows: Vec::new(),
             trace: Vec::new(),
             record_trace: false,
             sent: Counter::new(),
             dropped: Counter::new(),
+            dropped_partition: Counter::new(),
+            dropped_fault: Counter::new(),
+            fault_delayed: Counter::new(),
+            fault_duplicated: Counter::new(),
         }
+    }
+
+    /// Installs a probabilistic drop window on the matching links,
+    /// active on `[from, until)`.
+    pub fn add_drop_window(
+        &mut self,
+        from: SimTime,
+        until: SimTime,
+        src: Option<Addr>,
+        dst: Option<Addr>,
+        probability: f64,
+    ) {
+        self.drop_windows.push((
+            FaultWindow {
+                from,
+                until,
+                src,
+                dst,
+            },
+            probability,
+        ));
+    }
+
+    /// Installs an added-latency window on the matching links.
+    pub fn add_delay_window(
+        &mut self,
+        from: SimTime,
+        until: SimTime,
+        src: Option<Addr>,
+        dst: Option<Addr>,
+        extra: SimDuration,
+    ) {
+        self.delay_windows.push((
+            FaultWindow {
+                from,
+                until,
+                src,
+                dst,
+            },
+            extra,
+        ));
+    }
+
+    /// Installs a probabilistic duplication window on the matching
+    /// links.
+    pub fn add_duplicate_window(
+        &mut self,
+        from: SimTime,
+        until: SimTime,
+        src: Option<Addr>,
+        dst: Option<Addr>,
+        probability: f64,
+    ) {
+        self.dup_windows.push((
+            FaultWindow {
+                from,
+                until,
+                src,
+                dst,
+            },
+            probability,
+        ));
     }
 
     /// Enables or disables delivery-trace recording (used by the
@@ -112,9 +221,10 @@ impl Network {
         self.record_trace = on;
     }
 
-    /// Offers a message to the fabric. On acceptance returns its id and
-    /// delivery time (the caller schedules the delivery event); on drop
-    /// returns the reason.
+    /// Offers a message to the fabric, returning its id and delivery
+    /// time on acceptance (the caller schedules the delivery event) or
+    /// the drop reason. Compatibility wrapper around [`Network::offer`]
+    /// that ignores fault-injected duplicates.
     pub fn send(
         &mut self,
         now: SimTime,
@@ -122,24 +232,60 @@ impl Network {
         src: Addr,
         dst: Addr,
     ) -> Result<(MessageId, SimTime), DropReason> {
+        self.offer(now, rng, src, dst).map(|d| (d.id, d.deliver_at))
+    }
+
+    /// Offers a message to the fabric. On acceptance returns the full
+    /// delivery schedule — primary arrival plus an optional
+    /// fault-injected duplicate — on drop, the reason. Consults, in
+    /// order: partitions, configured random loss, active drop windows,
+    /// then samples latency (plus any active delay window) under
+    /// per-link FIFO.
+    pub fn offer(
+        &mut self,
+        now: SimTime,
+        rng: &mut DetRng,
+        src: Addr,
+        dst: Addr,
+    ) -> Result<Delivery, DropReason> {
         self.sent.inc();
         if self.is_partitioned(src, dst) {
             self.dropped.inc();
+            self.dropped_partition.inc();
             return Err(DropReason::Partitioned);
         }
         if self.config.drop_probability > 0.0 && rng.gen_bool(self.config.drop_probability) {
             self.dropped.inc();
             return Err(DropReason::RandomLoss);
         }
-        let latency = self.config.latency.sample(rng);
-        let mut deliver_at = now + latency;
-        // FIFO per link: never deliver before an earlier message on the
-        // same (src, dst) pair.
-        let clock = self.link_clock.entry((src, dst)).or_insert(SimTime::ZERO);
-        if deliver_at <= *clock {
-            deliver_at = *clock + SimDuration::from_nanos(1);
+        for k in 0..self.drop_windows.len() {
+            let (w, p) = self.drop_windows[k];
+            if w.matches(now, src, dst) && rng.gen_bool(p) {
+                self.dropped.inc();
+                self.dropped_fault.inc();
+                return Err(DropReason::FaultLoss);
+            }
         }
-        *clock = deliver_at;
+        let extra = self.fault_delay(now, src, dst);
+        if extra > SimDuration::ZERO {
+            self.fault_delayed.inc();
+        }
+        let latency = self.config.latency.sample(rng) + extra;
+        let deliver_at = self.fifo_clamp(src, dst, now + latency);
+
+        // Duplication windows: the copy takes an independent latency
+        // sample (it still pays any active delay window) and respects
+        // link FIFO behind the primary.
+        let mut duplicate_at = None;
+        for k in 0..self.dup_windows.len() {
+            let (w, p) = self.dup_windows[k];
+            if w.matches(now, src, dst) && rng.gen_bool(p) {
+                self.fault_duplicated.inc();
+                let dup_latency = self.config.latency.sample(rng) + extra;
+                duplicate_at = Some(self.fifo_clamp(src, dst, now + dup_latency));
+                break;
+            }
+        }
 
         let id = MessageId(self.next_id);
         self.next_id += 1;
@@ -152,7 +298,30 @@ impl Network {
                 deliver_at,
             });
         }
-        Ok((id, deliver_at))
+        Ok(Delivery {
+            id,
+            deliver_at,
+            duplicate_at,
+        })
+    }
+
+    /// Sum of active delay-window penalties for this link at `now`.
+    fn fault_delay(&self, now: SimTime, src: Addr, dst: Addr) -> SimDuration {
+        self.delay_windows
+            .iter()
+            .filter(|(w, _)| w.matches(now, src, dst))
+            .fold(SimDuration::ZERO, |acc, &(_, d)| acc + d)
+    }
+
+    /// FIFO per link: never deliver before an earlier message on the
+    /// same (src, dst) pair. Advances the link clock.
+    fn fifo_clamp(&mut self, src: Addr, dst: Addr, mut deliver_at: SimTime) -> SimTime {
+        let clock = self.link_clock.entry((src, dst)).or_insert(SimTime::ZERO);
+        if deliver_at <= *clock {
+            deliver_at = *clock + SimDuration::from_nanos(1);
+        }
+        *clock = deliver_at;
+        deliver_at
     }
 
     /// Cuts connectivity between `a` and `b` (both directions).
@@ -187,9 +356,29 @@ impl Network {
         self.sent.get()
     }
 
-    /// Messages dropped (loss or partition).
+    /// Messages dropped (loss, partition, or fault window).
     pub fn dropped(&self) -> u64 {
         self.dropped.get()
+    }
+
+    /// Messages dropped because the link was partitioned.
+    pub fn dropped_by_partition(&self) -> u64 {
+        self.dropped_partition.get()
+    }
+
+    /// Messages dropped by an injected drop window.
+    pub fn dropped_by_fault(&self) -> u64 {
+        self.dropped_fault.get()
+    }
+
+    /// Messages delayed by an injected delay window.
+    pub fn fault_delayed(&self) -> u64 {
+        self.fault_delayed.get()
+    }
+
+    /// Messages duplicated by an injected duplication window.
+    pub fn fault_duplicated(&self) -> u64 {
+        self.fault_duplicated.get()
     }
 
     /// The active configuration.
@@ -289,6 +478,114 @@ mod tests {
         }
         let rate = drops as f64 / 10_000.0;
         assert!((rate - 0.3).abs() < 0.03, "drop rate {rate}");
+    }
+
+    #[test]
+    fn drop_window_only_bites_inside_its_bounds_and_links() {
+        let mut n = net(0.0);
+        let mut rng = DetRng::new(9);
+        n.add_drop_window(
+            SimTime::from_secs(10),
+            SimTime::from_secs(20),
+            Some(Addr(1)),
+            None,
+            1.0,
+        );
+        // Before the window: accepted.
+        assert!(n
+            .send(SimTime::from_secs(5), &mut rng, Addr(1), Addr(2))
+            .is_ok());
+        // Inside the window, matching src: always dropped at p=1.
+        assert_eq!(
+            n.send(SimTime::from_secs(15), &mut rng, Addr(1), Addr(2))
+                .unwrap_err(),
+            DropReason::FaultLoss
+        );
+        // Inside the window, non-matching src: accepted.
+        assert!(n
+            .send(SimTime::from_secs(15), &mut rng, Addr(3), Addr(2))
+            .is_ok());
+        // At the exclusive end: accepted.
+        assert!(n
+            .send(SimTime::from_secs(20), &mut rng, Addr(1), Addr(2))
+            .is_ok());
+        assert_eq!(n.dropped_by_fault(), 1);
+        assert_eq!(n.dropped(), 1);
+    }
+
+    #[test]
+    fn delay_window_adds_latency() {
+        let mut n = net(0.0);
+        let mut rng = DetRng::new(3);
+        n.add_delay_window(
+            SimTime::from_secs(10),
+            SimTime::from_secs(20),
+            None,
+            Some(Addr(2)),
+            SimDuration::from_millis(250),
+        );
+        let d = n
+            .offer(SimTime::from_secs(15), &mut rng, Addr(1), Addr(2))
+            .unwrap();
+        // Constant 1ms base latency + 250ms window penalty.
+        assert_eq!(
+            d.deliver_at,
+            SimTime::from_secs(15) + SimDuration::from_millis(251)
+        );
+        assert_eq!(n.fault_delayed(), 1);
+        // Other destinations see only the base latency.
+        let d = n
+            .offer(SimTime::from_secs(15), &mut rng, Addr(1), Addr(3))
+            .unwrap();
+        assert_eq!(
+            d.deliver_at,
+            SimTime::from_secs(15) + SimDuration::from_millis(1)
+        );
+        assert_eq!(n.fault_delayed(), 1);
+    }
+
+    #[test]
+    fn duplicate_window_schedules_a_second_arrival_behind_fifo() {
+        let mut n = net(0.0);
+        let mut rng = DetRng::new(4);
+        n.add_duplicate_window(SimTime::ZERO, SimTime::from_secs(100), None, None, 1.0);
+        let d = n
+            .offer(SimTime::from_secs(1), &mut rng, Addr(1), Addr(2))
+            .unwrap();
+        let dup = d.duplicate_at.expect("p=1 must duplicate");
+        assert!(dup > d.deliver_at, "duplicate respects link FIFO");
+        assert_eq!(n.fault_duplicated(), 1);
+        // Outside the window: no duplicate.
+        let d = n
+            .offer(SimTime::from_secs(200), &mut rng, Addr(1), Addr(2))
+            .unwrap();
+        assert!(d.duplicate_at.is_none());
+    }
+
+    #[test]
+    fn fault_paths_are_deterministic_for_same_seed() {
+        let run = |seed: u64| {
+            let mut n = net(0.0);
+            let mut rng = DetRng::new(seed);
+            n.add_drop_window(SimTime::ZERO, SimTime::from_secs(50), None, None, 0.3);
+            n.add_duplicate_window(SimTime::ZERO, SimTime::from_secs(50), None, None, 0.3);
+            let mut log = Vec::new();
+            for i in 0..200u64 {
+                let now = SimTime::from_millis(i * 100);
+                log.push(format!(
+                    "{:?}",
+                    n.offer(
+                        now,
+                        &mut rng,
+                        Addr((i % 4) as u32),
+                        Addr(((i + 1) % 4) as u32)
+                    )
+                ));
+            }
+            (log, n.dropped_by_fault(), n.fault_duplicated())
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11).0, run(12).0);
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //!   paper's three deployment semantics (real-scale, basic colocation,
 //!   PIL replay);
 //! * virtual-time locks ([`LockTable`]) for the C5456 coarse-lock bug;
+//! * deterministic fault-injection plans and reports ([`FaultPlan`],
+//!   [`FaultReport`]) scheduled on the virtual clock;
 //! * SEDA-like serial stages ([`Stage`]) with event-lateness accounting;
 //! * memory accounting ([`MemoryModel`]) for the §6/§8 colocation
 //!   bottlenecks;
@@ -37,6 +39,7 @@
 
 pub mod cpu;
 pub mod engine;
+pub mod faults;
 pub mod lock;
 pub mod memory;
 pub mod metrics;
@@ -46,6 +49,7 @@ pub mod time;
 
 pub use cpu::{ps_completions, CpuGrant, CtxSwitchModel, Machine, MachineId, MachinePark};
 pub use engine::{Ctx, Engine, EventFn, RunOutcome, RunStats};
+pub use faults::{FaultEvent, FaultPlan, FaultReport, FiredFault};
 pub use lock::{Acquire, HolderToken, LockId, LockTable};
 pub use memory::{MemoryModel, OutOfMemory, MIB};
 pub use metrics::{Counter, Histogram, TimeSeries};

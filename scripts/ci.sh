@@ -23,4 +23,19 @@ cargo test -q
 echo "=== cargo test (workspace) ==="
 cargo test --workspace -q
 
+# The fault/regression suites gate the determinism and paper-shape
+# contracts; run them by name so a failure is attributable at a glance
+# even though the broad passes above include them.
+echo "=== scenario regressions (paper shapes at pinned seeds) ==="
+cargo test -q --test bug_regressions
+
+echo "=== fault injection + determinism ==="
+cargo test -q --test failure_injection
+
+echo "=== property suites (incl. fault-layer invariants) ==="
+cargo test -q --test proptests
+
+echo "=== sweep cache keyed on fault plans ==="
+cargo test -q -p scalecheck-bench --test sweep_integration
+
 echo "ci green"

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # Regenerates every paper artifact into results/.
-# Usage: scripts/run_experiments.sh [--quick] [--jobs N] [--no-cache]
-# --quick    caps Figure 3 sweeps at N=96 for a fast smoke pass.
-# --jobs N   worker threads per experiment sweep (default: all cores).
-# --no-cache ignore and bypass the on-disk result cache (results/cache/).
+# Usage: scripts/run_experiments.sh [--quick] [--jobs N] [--no-cache] [--faults LIST]
+# --quick       caps Figure 3 sweeps at N=96 for a fast smoke pass.
+# --jobs N      worker threads per experiment sweep (default: all cores).
+# --no-cache    ignore and bypass the on-disk result cache (results/cache/).
+# --faults LIST comma-separated storm intensities passed through to
+#               tbl_faults (default 0,0.3,0.7).
 set -u
 cd "$(dirname "$0")/.."
 SCALES="32,64,128,256"
+FAULT_INTENSITIES="0,0.3,0.7"
 SWEEP_FLAGS=()
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -15,7 +18,10 @@ while [ $# -gt 0 ]; do
       [ $# -ge 2 ] || { echo "--jobs needs a value" >&2; exit 2; }
       SWEEP_FLAGS+=(--jobs "$2"); shift ;;
     --no-cache) SWEEP_FLAGS+=(--no-cache) ;;
-    *) echo "unknown flag: $1" >&2; echo "usage: $0 [--quick] [--jobs N] [--no-cache]" >&2; exit 2 ;;
+    --faults)
+      [ $# -ge 2 ] || { echo "--faults needs a value" >&2; exit 2; }
+      FAULT_INTENSITIES="$2"; shift ;;
+    *) echo "unknown flag: $1" >&2; echo "usage: $0 [--quick] [--jobs N] [--no-cache] [--faults LIST]" >&2; exit 2 ;;
   esac
   shift
 done
@@ -44,4 +50,5 @@ run tbl_fix_ablation "$BIN/tbl_fix_ablation" --nodes 256
 run tbl_baselines "$BIN/tbl_baselines" --target 256
 run ext_hdfs "$BIN/ext_hdfs"
 run fig_c6127 "$BIN/fig_c6127"
+run tbl_faults "$BIN/tbl_faults" --bug c3831 --intensities "$FAULT_INTENSITIES"
 echo "all experiments done"

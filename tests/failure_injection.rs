@@ -4,9 +4,9 @@
 
 use scalecheck::{memoize, replay_ordered, run_real, COLO_CORES};
 use scalecheck_cluster::{
-    run_scenario, AllocStrategy, CalcIo, DeploymentMode, ScenarioConfig, Workload,
+    run_scenario, AllocStrategy, CalcIo, DeploymentMode, FaultPlan, ScenarioConfig, Workload,
 };
-use scalecheck_sim::SimDuration;
+use scalecheck_sim::{SimDuration, SimTime};
 
 fn base(n: usize, seed: u64) -> ScenarioConfig {
     let mut cfg = ScenarioConfig::c3831(n, seed);
@@ -20,10 +20,6 @@ fn base(n: usize, seed: u64) -> ScenarioConfig {
     cfg
 }
 
-// Message loss is injected by tweaking the network config through the
-// cluster runner; the runner reads `NetworkConfig::default()`, so the
-// loss tests go through the network crate directly plus an end-to-end
-// smoke via drop-heavy gossip in small clusters.
 #[test]
 fn gossip_converges_without_loss_baseline() {
     let cfg = base(12, 1);
@@ -31,6 +27,95 @@ fn gossip_converges_without_loss_baseline() {
     assert!(r.quiesced);
     assert_eq!(r.messages_dropped, 0);
     assert_eq!(r.total_flaps, 0);
+}
+
+#[test]
+fn plumbed_loss_config_drops_messages_end_to_end() {
+    // The runner builds its network from `ScenarioConfig.network`, so
+    // random loss set there must show up in the run report.
+    let mut lossy = base(12, 1);
+    lossy.network.drop_probability = 0.2;
+    let r = run_real(&lossy);
+    assert!(r.quiesced, "20% loss must not wedge the cluster");
+    assert!(r.messages_dropped > 0, "configured loss must drop messages");
+
+    // Heavier configured loss drops a larger share of offered traffic.
+    let mut heavy = base(12, 1);
+    heavy.network.drop_probability = 0.5;
+    let r2 = run_real(&heavy);
+    assert!(r2.quiesced);
+    let rate = |r: &scalecheck_cluster::RunReport| {
+        r.messages_dropped as f64 / r.messages_sent.max(1) as f64
+    };
+    assert!(
+        rate(&r2) > rate(&r),
+        "drop rate must follow the config: {} vs {}",
+        rate(&r2),
+        rate(&r)
+    );
+}
+
+#[test]
+fn fault_crash_restart_accounts_downtime_and_recovers() {
+    let mut cfg = base(12, 6);
+    cfg.faults = FaultPlan::new()
+        .crash(SimTime::from_secs(50), 3)
+        .restart(SimTime::from_secs(80), 3);
+    let r = run_real(&cfg);
+    assert!(r.quiesced, "the cluster must settle after the restart");
+    assert_eq!(r.faults.crashes, 1);
+    assert_eq!(r.faults.restarts, 1);
+    assert_eq!(
+        r.faults.downtime.get(&3).copied(),
+        Some(SimDuration::from_secs(30)),
+        "downtime is exactly crash..restart on the virtual clock"
+    );
+    assert!(
+        r.faults.attributed_flaps > 0,
+        "survivors convict the silent node, attributed to the fault"
+    );
+}
+
+#[test]
+fn partition_flaps_are_fault_attributed_and_heal() {
+    let mut cfg = base(12, 7);
+    let minority: Vec<u32> = vec![0, 1, 2];
+    let majority: Vec<u32> = (3..12).collect();
+    cfg.faults = FaultPlan::new()
+        .partition(SimTime::from_secs(50), minority.clone(), majority.clone())
+        .heal(SimTime::from_secs(90), minority, majority);
+    let r = run_real(&cfg);
+    assert!(r.quiesced, "the cluster must settle after the heal");
+    assert!(
+        r.faults.fault_dropped > 0,
+        "cross-cut messages must be dropped while partitioned"
+    );
+    assert!(
+        r.faults.attributed_flaps > 0,
+        "cross-cut convictions must be attributed to the partition"
+    );
+    assert!(r.faults.downtime.is_empty(), "nobody crashed");
+}
+
+#[test]
+fn same_fault_triple_yields_byte_identical_reports() {
+    // The determinism contract: the same (scenario, plan, seed) triple
+    // produces a byte-identical serialized FaultReport, run to run.
+    let mut cfg = base(12, 9);
+    cfg.faults = FaultPlan::storm(9, 12, 0.6);
+    let a = run_real(&cfg);
+    let b = run_real(&cfg);
+    assert!(
+        !a.faults.fired.is_empty(),
+        "the storm must inject something"
+    );
+    assert_eq!(
+        serde_json::to_string(&a.faults).unwrap(),
+        serde_json::to_string(&b.faults).unwrap(),
+        "FaultReport must be byte-identical across same-seed runs"
+    );
+    assert_eq!(a.total_flaps, b.total_flaps);
+    assert_eq!(a.messages_delivered, b.messages_delivered);
 }
 
 #[test]

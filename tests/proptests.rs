@@ -305,6 +305,37 @@ proptest! {
         prop_assert!(after <= p1.max(0.01));
     }
 
+    /// Partitions are symmetric: while `A ⊁ B` holds, offers in *both*
+    /// directions fail with the partition drop reason, and after the
+    /// heal both directions deliver again.
+    #[test]
+    fn network_partitions_are_symmetric(
+        pairs in prop::collection::vec((0u32..16, 0u32..16), 1..8),
+        seed in any::<u64>(),
+    ) {
+        use scalecheck_net::{Addr, DropReason, Network, NetworkConfig};
+        let mut net = Network::new(NetworkConfig {
+            drop_probability: 0.0,
+            ..NetworkConfig::default()
+        });
+        let mut rng = DetRng::new(seed);
+        let now = SimTime::from_secs(1);
+        for &(a, b) in pairs.iter().filter(|(a, b)| a != b) {
+            net.partition(Addr(a), Addr(b));
+            prop_assert_eq!(
+                net.offer(now, &mut rng, Addr(a), Addr(b)).unwrap_err(),
+                DropReason::Partitioned
+            );
+            prop_assert_eq!(
+                net.offer(now, &mut rng, Addr(b), Addr(a)).unwrap_err(),
+                DropReason::Partitioned
+            );
+            net.heal(Addr(a), Addr(b));
+            prop_assert!(net.offer(now, &mut rng, Addr(b), Addr(a)).is_ok());
+            prop_assert!(net.offer(now, &mut rng, Addr(a), Addr(b)).is_ok());
+        }
+    }
+
     /// Memory model conservation: any interleaving of allocations and
     /// frees keeps `in_use` equal to the running ledger and never
     /// exceeds capacity.
@@ -326,6 +357,61 @@ proptest! {
             prop_assert_eq!(m.in_use(), ledger);
             prop_assert!(m.in_use() <= m.capacity());
             prop_assert!(m.peak() >= m.in_use());
+        }
+    }
+}
+
+// Full-cluster fault properties: each case is two complete simulation
+// runs, so the case count stays tiny.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The fault determinism contract as a property: any `(scenario,
+    /// storm plan, seed)` triple yields a byte-identical serialized
+    /// FaultReport on every run.
+    #[test]
+    fn same_seed_fault_reports_are_byte_identical(seed in 0u64..1_000, tenths in 1u32..10) {
+        use scalecheck_cluster::{run_scenario, FaultPlan, ScenarioConfig};
+        let mut cfg = ScenarioConfig::baseline(8, seed);
+        cfg.faults = FaultPlan::storm(seed, 8, tenths as f64 / 10.0);
+        let a = run_scenario(&cfg);
+        let b = run_scenario(&cfg);
+        prop_assert_eq!(
+            serde_json::to_string(&a.faults).unwrap(),
+            serde_json::to_string(&b.faults).unwrap()
+        );
+        prop_assert_eq!(a.total_flaps, b.total_flaps);
+        prop_assert_eq!(a.messages_delivered, b.messages_delivered);
+    }
+
+    /// A fault crash followed by a restart never removes the node for
+    /// good: the run settles, the restart is accounted, and any
+    /// fault-attributed convictions are followed by recoveries once the
+    /// restarted node gossips again.
+    #[test]
+    fn crash_restart_is_never_permanent(
+        seed in 0u64..1_000,
+        node in 1u32..7,
+        down_secs in 25u64..40,
+    ) {
+        use scalecheck_cluster::{run_scenario, FaultPlan, ScenarioConfig};
+        let mut cfg = ScenarioConfig::baseline(8, seed);
+        cfg.faults = FaultPlan::new()
+            .crash(SimTime::from_secs(50), node)
+            .restart(SimTime::from_secs(50 + down_secs), node);
+        let r = run_scenario(&cfg);
+        prop_assert!(r.quiesced, "restarted cluster must settle");
+        prop_assert_eq!(r.faults.crashes, 1);
+        prop_assert_eq!(r.faults.restarts, 1);
+        prop_assert_eq!(
+            r.faults.downtime.get(&node).copied(),
+            Some(SimDuration::from_secs(down_secs))
+        );
+        if r.faults.attributed_flaps > 0 {
+            prop_assert!(
+                r.recoveries > 0,
+                "convicted-then-restarted node must be re-learned"
+            );
         }
     }
 }
