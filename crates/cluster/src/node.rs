@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 use scalecheck_gossip::{Ack, Ack2, ApplyOutcome, FailureDetector, Gossiper, Syn};
 use scalecheck_memo::Hasher128;
 use scalecheck_ring::{NodeId, NodeStatus, PendingRanges, RingTable, TopologyChange};
-use scalecheck_sim::{cpu::MachineId, DetRng, SimDuration, SimTime, Stage};
+use scalecheck_sim::{cpu::MachineId, DetRng, SimDuration, SimTime, Stage, TimerId};
 
 use crate::ringinfo::{peer_of, RingInfo};
 
@@ -125,6 +125,10 @@ pub struct Node {
     /// Bumped on fault crash/restart; periodic timer chains carry the
     /// epoch they were scheduled under and die when it moves on.
     pub timer_epoch: u64,
+    /// Pending periodic gossip-round timer, cancelled on crash/leave.
+    pub gossip_timer: Option<TimerId>,
+    /// Pending periodic failure-detector timer, cancelled on crash/leave.
+    pub fd_timer: Option<TimerId>,
     link_seq: BTreeMap<(NodeId, u8), u64>,
 }
 
@@ -160,6 +164,8 @@ impl Node {
             rebalance_bytes: 0,
             clock_skew: SimDuration::ZERO,
             timer_epoch: 0,
+            gossip_timer: None,
+            fd_timer: None,
             link_seq: BTreeMap::new(),
         }
     }
@@ -319,17 +325,17 @@ mod tests {
     fn remote_state(id: u32, status: NodeStatus, hb: u64) -> (Peer, EndpointState<RingInfo>) {
         (
             Peer(id),
-            EndpointState {
-                heartbeat: HeartbeatState {
+            EndpointState::new(
+                HeartbeatState {
                     generation: 1,
                     version: hb,
                 },
-                app_version: 1,
-                app: RingInfo {
+                1,
+                RingInfo {
                     status,
                     tokens: spread_tokens(NodeId(id), 2),
                 },
-            },
+            ),
         )
     }
 
@@ -337,7 +343,7 @@ mod tests {
     fn apply_outcome_reports_heartbeats_and_updates_ring() {
         let mut n = node(0);
         let (peer, st) = remote_state(1, NodeStatus::Normal, 5);
-        let outcome = n.gossiper.apply(&[(peer, st)]);
+        let outcome = n.gossiper.apply_states(&[(peer, st)]);
         let ch = n.apply_outcome(&outcome, SimTime::from_secs(1));
         assert!(ch.topology_changed, "new node entered the ring view");
         assert!(n.ring.node(NodeId(1)).is_some());
@@ -348,7 +354,7 @@ mod tests {
     fn joining_peer_opens_pending_window() {
         let mut n = node(0);
         let (peer, st) = remote_state(1, NodeStatus::Joining, 5);
-        let outcome = n.gossiper.apply(&[(peer, st)]);
+        let outcome = n.gossiper.apply_states(&[(peer, st)]);
         n.apply_outcome(&outcome, SimTime::from_secs(1));
         assert!(n.pending_window_open());
         let changes = n.outstanding_changes();
@@ -360,14 +366,14 @@ mod tests {
     fn left_peer_is_removed_and_forgotten() {
         let mut n = node(0);
         let (peer, st) = remote_state(1, NodeStatus::Normal, 5);
-        let outcome = n.gossiper.apply(&[(peer, st)]);
+        let outcome = n.gossiper.apply_states(&[(peer, st)]);
         n.apply_outcome(&outcome, SimTime::from_secs(1));
         assert!(n.fd.liveness(Peer(1)).is_some());
         // Now the peer leaves.
         let (peer, mut st) = remote_state(1, NodeStatus::Left, 6);
         st.app_version = 7;
         st.heartbeat.version = 7;
-        let outcome = n.gossiper.apply(&[(peer, st)]);
+        let outcome = n.gossiper.apply_states(&[(peer, st)]);
         let ch = n.apply_outcome(&outcome, SimTime::from_secs(2));
         assert!(ch.topology_changed);
         assert_eq!(ch.departed, vec![NodeId(1)]);
@@ -381,7 +387,7 @@ mod tests {
     fn heartbeat_of_left_peer_not_reported() {
         let mut n = node(0);
         let (peer, st) = remote_state(1, NodeStatus::Left, 5);
-        let outcome = n.gossiper.apply(&[(peer, st)]);
+        let outcome = n.gossiper.apply_states(&[(peer, st)]);
         n.apply_outcome(&outcome, SimTime::from_secs(1));
         assert!(n.fd.liveness(Peer(1)).is_none());
     }
@@ -390,20 +396,20 @@ mod tests {
     fn status_change_flags_topology_but_same_status_does_not() {
         let mut n = node(0);
         let (peer, st) = remote_state(1, NodeStatus::Joining, 5);
-        let outcome = n.gossiper.apply(&[(peer, st)]);
+        let outcome = n.gossiper.apply_states(&[(peer, st)]);
         let ch1 = n.apply_outcome(&outcome, SimTime::from_secs(1));
         assert!(ch1.topology_changed);
         // Same status, newer version: no topology change.
         let (peer, mut st) = remote_state(1, NodeStatus::Joining, 9);
         st.app_version = 9;
-        let outcome = n.gossiper.apply(&[(peer, st)]);
+        let outcome = n.gossiper.apply_states(&[(peer, st)]);
         let ch2 = n.apply_outcome(&outcome, SimTime::from_secs(2));
         assert!(!ch2.topology_changed);
         // Joining -> Normal: topology change again.
         let (peer, mut st) = remote_state(1, NodeStatus::Normal, 12);
         st.app_version = 12;
         st.heartbeat.version = 12;
-        let outcome = n.gossiper.apply(&[(peer, st)]);
+        let outcome = n.gossiper.apply_states(&[(peer, st)]);
         let ch3 = n.apply_outcome(&outcome, SimTime::from_secs(3));
         assert!(ch3.topology_changed);
         assert!(!n.pending_window_open());

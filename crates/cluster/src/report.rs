@@ -1,7 +1,7 @@
 //! Aggregated results of one cluster run.
 
 use scalecheck_memo::MemoStats;
-use scalecheck_sim::{FaultReport, SimDuration, TimeSeries};
+use scalecheck_sim::{EngineCounters, FaultReport, SimDuration, TimeSeries};
 use serde::{Deserialize, Serialize};
 
 use crate::calc::CalcStats;
@@ -59,6 +59,12 @@ pub struct RunReport {
     /// Client quorum operations that failed (no quorum of live
     /// replicas — the paper's "data not reachable by the users").
     pub client_ops_failed: u64,
+    /// Event-engine counters: schedules, fires, cancellations, and slab
+    /// pool hit/miss totals for the run.
+    pub engine: EngineCounters,
+    /// Periodic timers that fired after their node's epoch moved on.
+    /// Crash/restart cancels timers eagerly, so this should be zero.
+    pub stale_timer_fires: u64,
     /// What the run's fault plan did (all zeros/empty under the default
     /// empty plan).
     pub faults: FaultReport,
@@ -111,6 +117,8 @@ mod tests {
             order_forced_releases: 0,
             client_ops_attempted: 0,
             client_ops_failed: 0,
+            engine: EngineCounters::default(),
+            stale_timer_fires: 0,
             faults: FaultReport::default(),
             trace: TraceLog::default(),
         };

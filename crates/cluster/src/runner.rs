@@ -26,8 +26,9 @@ use scalecheck_memo::{OrderDecision, OrderEnforcer, OrderRecorder};
 use scalecheck_net::{Addr, Network};
 use scalecheck_ring::{spread_tokens, NodeId, NodeStatus, PendingRanges, RingTable};
 use scalecheck_sim::{
-    Acquire, Ctx, CtxSwitchModel, Engine, FaultEvent, FaultReport, FiredFault, LockId, LockTable,
-    Machine, MachinePark, MemoryModel, SimDuration, SimTime, Stage, TimeSeries,
+    Acquire, Ctx, CtxSwitchModel, Engine, EngineCounters, FaultEvent, FaultReport, FiredFault,
+    HandlerId, LockId, LockTable, Machine, MachinePark, MemoryModel, SimDuration, SimTime, Stage,
+    TimeSeries,
 };
 
 use crate::calc::{CalcEngine, PendingWire};
@@ -67,6 +68,14 @@ pub struct ClusterState {
     /// Order enforcer (replay runs).
     pub order_enf: Option<OrderEnforcer>,
     seeds: Vec<NodeId>,
+    /// Handler for periodic gossip rounds (payload packs node + epoch).
+    gossip_handler: Option<HandlerId>,
+    /// Handler for periodic failure-detector checks.
+    fd_handler: Option<HandlerId>,
+    /// Periodic timers that fired after their node's epoch moved on.
+    /// Crash/restart cancels timers eagerly, so this stays zero; the
+    /// epoch guard remains as a backstop and this counts its catches.
+    stale_timer_fires: u64,
     client_rng: scalecheck_sim::DetRng,
     client_stats: crate::datapath::ClientStats,
     trace: crate::trace::TraceLog,
@@ -193,14 +202,14 @@ fn build(cfg: &ScenarioConfig, calc: CalcEngine) -> ClusterState {
                 let id = NodeId(j as u32);
                 (
                     peer_of(id),
-                    scalecheck_gossip::EndpointState {
-                        heartbeat: scalecheck_gossip::HeartbeatState {
+                    scalecheck_gossip::EndpointState::new(
+                        scalecheck_gossip::HeartbeatState {
                             generation: 1,
                             version: 0,
                         },
-                        app_version: 0,
-                        app: RingInfo::normal(spread_tokens(id, cfg.vnodes)),
-                    },
+                        0,
+                        RingInfo::normal(spread_tokens(id, cfg.vnodes)),
+                    ),
                 )
             })
             .collect();
@@ -235,14 +244,14 @@ fn build(cfg: &ScenarioConfig, calc: CalcEngine) -> ClusterState {
             if s != NodeId(i as u32) {
                 nodes[i].gossiper.seed_peer(
                     peer_of(s),
-                    scalecheck_gossip::EndpointState {
-                        heartbeat: scalecheck_gossip::HeartbeatState {
+                    scalecheck_gossip::EndpointState::new(
+                        scalecheck_gossip::HeartbeatState {
                             generation: 0,
                             version: 0,
                         },
-                        app_version: 0,
-                        app: RingInfo::normal(vec![]),
-                    },
+                        0,
+                        RingInfo::normal(vec![]),
+                    ),
                 );
             }
         }
@@ -303,6 +312,9 @@ fn build(cfg: &ScenarioConfig, calc: CalcEngine) -> ClusterState {
         order_rec: None,
         order_enf: None,
         seeds,
+        gossip_handler: None,
+        fd_handler: None,
+        stale_timer_fires: 0,
         inflight: 0,
         deliveries: 0,
         forced_releases: 0,
@@ -325,6 +337,30 @@ const FAULT_SETTLE: SimDuration = SimDuration::from_secs(45);
 // ---------------------------------------------------------------------
 // Node activation and per-node timers.
 // ---------------------------------------------------------------------
+
+/// Packs a periodic-timer payload: node index in the low word, timer
+/// epoch in the high word. Handler events carry this `u64` instead of a
+/// boxed closure, so steady-state rounds schedule allocation-free.
+fn timer_payload(i: usize, epoch: u64) -> u64 {
+    debug_assert!(i < u32::MAX as usize && epoch < u32::MAX as u64);
+    (i as u64) | (epoch << 32)
+}
+
+fn unpack_timer(payload: u64) -> (usize, u64) {
+    ((payload & 0xffff_ffff) as usize, payload >> 32)
+}
+
+/// Cancels a node's pending periodic timers (crash, OOM death,
+/// decommission). The epoch guard in the handlers stays as a backstop,
+/// but after this no stale event remains queued for the old epoch.
+fn cancel_node_timers(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>, i: usize) {
+    if let Some(t) = st.nodes[i].gossip_timer.take() {
+        ctx.cancel(t);
+    }
+    if let Some(t) = st.nodes[i].fd_timer.take() {
+        ctx.cancel(t);
+    }
+}
 
 fn activate(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>, i: usize, info: RingInfo) {
     // Memory admission: runtime overhead plus the node's ring table.
@@ -358,27 +394,41 @@ fn activate(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>, i: usize, in
             / st.cfg.total_nodes().max(1) as u64,
     );
     let epoch = st.nodes[i].timer_epoch;
-    ctx.schedule_after(stagger, move |st, ctx| gossip_round(st, ctx, i, epoch));
+    let gh = st.gossip_handler.expect("handlers registered before run");
+    let fh = st.fd_handler.expect("handlers registered before run");
+    st.nodes[i].gossip_timer =
+        Some(ctx.schedule_handler_after(stagger, gh, timer_payload(i, epoch)));
     let fd_interval = st.cfg.fd_interval;
-    ctx.schedule_after(stagger + fd_interval, move |st, ctx| {
-        fd_check(st, ctx, i, epoch)
-    });
+    st.nodes[i].fd_timer =
+        Some(ctx.schedule_handler_after(stagger + fd_interval, fh, timer_payload(i, epoch)));
 }
 
 fn gossip_round(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>, i: usize, epoch: u64) {
     let node = &mut st.nodes[i];
-    if node.timer_epoch != epoch || !node.active || node.departed {
+    node.gossip_timer = None;
+    if node.timer_epoch != epoch {
+        st.stale_timer_fires += 1;
+        return;
+    }
+    if !node.active || node.departed {
         return;
     }
     node.gossip_stage.push(ctx.now(), Task::SendRound);
     pump(st, ctx, i, StageKind::Gossip);
     let interval = st.cfg.gossip_interval;
-    ctx.schedule_after(interval, move |st, ctx| gossip_round(st, ctx, i, epoch));
+    let gh = st.gossip_handler.expect("handlers registered before run");
+    st.nodes[i].gossip_timer =
+        Some(ctx.schedule_handler_after(interval, gh, timer_payload(i, epoch)));
 }
 
 fn fd_check(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>, i: usize, epoch: u64) {
     let node = &mut st.nodes[i];
-    if node.timer_epoch != epoch || !node.active || node.departed {
+    node.fd_timer = None;
+    if node.timer_epoch != epoch {
+        st.stale_timer_fires += 1;
+        return;
+    }
+    if !node.active || node.departed {
         return;
     }
     // Failure detection runs on the node's local clock, which may be
@@ -393,7 +443,8 @@ fn fd_check(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>, i: usize, ep
         });
     }
     let interval = st.cfg.fd_interval;
-    ctx.schedule_after(interval, move |st, ctx| fd_check(st, ctx, i, epoch));
+    let fh = st.fd_handler.expect("handlers registered before run");
+    st.nodes[i].fd_timer = Some(ctx.schedule_handler_after(interval, fh, timer_payload(i, epoch)));
 }
 
 // ---------------------------------------------------------------------
@@ -734,7 +785,7 @@ fn finish_calc(
     pending: PendingRanges,
     release_lock_after: bool,
 ) {
-    apply_pending(st, ctx.now(), i, pending);
+    apply_pending(st, ctx, i, pending);
     if release_lock_after {
         release_ring_lock(st, ctx, i, StageKind::Calc);
     }
@@ -754,7 +805,13 @@ fn finish_calc(
 
 /// Applies a computed pending-range set: stores it and models the §6
 /// rebalance allocation if configured.
-fn apply_pending(st: &mut ClusterState, now: SimTime, i: usize, pending: PendingRanges) {
+fn apply_pending(
+    st: &mut ClusterState,
+    ctx: &mut Ctx<'_, ClusterState>,
+    i: usize,
+    pending: PendingRanges,
+) {
+    let now = ctx.now();
     let has_pending = !pending.is_empty();
     st.nodes[i].pending = pending;
     let Some(strategy) = st.cfg.memory.rebalance_alloc else {
@@ -783,6 +840,7 @@ fn apply_pending(st: &mut ClusterState, now: SimTime, i: usize, pending: Pending
             st.nodes[i].rebalance_bytes = 0;
             st.nodes[i].active = false;
             st.nodes[i].departed = true;
+            cancel_node_timers(st, ctx, i);
             st.crashed += 1;
             st.trace.push(crate::trace::TraceEvent::NodeCrashed {
                 at: now,
@@ -942,10 +1000,11 @@ fn schedule_workload(engine: &mut Engine<ClusterState>, cfg: &ScenarioConfig) {
                         tokens: vec![],
                     });
                 });
-                engine.schedule_at(t + window + SimDuration::from_secs(10), move |st, _ctx| {
+                engine.schedule_at(t + window + SimDuration::from_secs(10), move |st, ctx| {
                     st.nodes[i].departed = true;
                     st.nodes[i].gossip_stage.clear();
                     st.nodes[i].calc_stage.clear();
+                    cancel_node_timers(st, ctx, i);
                 });
             }
         }
@@ -1049,10 +1108,12 @@ fn crash_node(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>, i: usize) 
         return;
     }
     let now = ctx.now();
+    // Cancel the periodic timer chains outright — the bumped epoch
+    // below is only a backstop; in-flight stage completions still drain
+    // through the idle `active` checks.
+    cancel_node_timers(st, ctx, i);
     let node = &mut st.nodes[i];
     node.active = false;
-    // Kill the periodic timer chains; in-flight stage completions still
-    // drain through the idle `active` checks.
     node.timer_epoch += 1;
     node.gossip_stage.clear();
     node.calc_stage.clear();
@@ -1113,11 +1174,13 @@ fn restart_node(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>, i: usize
             st.nodes[k].fd.set_fault_suspect(peer, false);
         }
     }
-    ctx.schedule_after(SimDuration::ZERO, move |st, ctx| {
-        gossip_round(st, ctx, i, epoch)
-    });
+    let gh = st.gossip_handler.expect("handlers registered before run");
+    let fh = st.fd_handler.expect("handlers registered before run");
+    st.nodes[i].gossip_timer =
+        Some(ctx.schedule_handler_after(SimDuration::ZERO, gh, timer_payload(i, epoch)));
     let fd_interval = st.cfg.fd_interval;
-    ctx.schedule_after(fd_interval, move |st, ctx| fd_check(st, ctx, i, epoch));
+    st.nodes[i].fd_timer =
+        Some(ctx.schedule_handler_after(fd_interval, fh, timer_payload(i, epoch)));
 }
 
 // ---------------------------------------------------------------------
@@ -1153,6 +1216,22 @@ pub fn run_scenario_with_db(
     }
 
     let mut engine: Engine<ClusterState> = Engine::new(cfg.seed);
+
+    // Periodic per-node timers run as handler events: the payload packs
+    // (node, epoch), so steady-state rounds recur without boxing a new
+    // closure per fire.
+    state.gossip_handler = Some(
+        engine.register_handler(|st: &mut ClusterState, ctx, payload| {
+            let (i, epoch) = unpack_timer(payload);
+            gossip_round(st, ctx, i, epoch);
+        }),
+    );
+    state.fd_handler = Some(
+        engine.register_handler(|st: &mut ClusterState, ctx, payload| {
+            let (i, epoch) = unpack_timer(payload);
+            fd_check(st, ctx, i, epoch);
+        }),
+    );
 
     // Activate the initial population.
     let bootstrap = matches!(cfg.workload, Workload::BootstrapFromScratch);
@@ -1232,7 +1311,7 @@ pub fn run_scenario_with_db(
     engine.run_until(&mut state, deadline);
     let ended = engine.now();
 
-    let report = assemble_report(&state, ended);
+    let report = assemble_report(&state, ended, engine.counters());
     let order_out = state.order_rec.take();
     let calc = state.calc;
     (report, calc.into_db(), order_out)
@@ -1244,7 +1323,7 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> RunReport {
     run_scenario_with_db(cfg, None, None).0
 }
 
-fn assemble_report(st: &ClusterState, ended: SimTime) -> RunReport {
+fn assemble_report(st: &ClusterState, ended: SimTime, engine: EngineCounters) -> RunReport {
     let mut lateness = scalecheck_sim::Histogram::new();
     for n in &st.nodes {
         lateness.merge(n.gossip_stage.lateness());
@@ -1287,6 +1366,8 @@ fn assemble_report(st: &ClusterState, ended: SimTime) -> RunReport {
         order_forced_releases: st.forced_releases,
         client_ops_attempted: st.client_stats.attempted,
         client_ops_failed: st.client_stats.failed,
+        engine,
+        stale_timer_fires: st.stale_timer_fires,
         faults: assemble_fault_report(st, ended),
         trace: st.trace.clone(),
     }

@@ -9,9 +9,11 @@
 //! application state moved (triggers the pending-range calculation — the
 //! offending path of §2).
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
-use crate::state::{Digest, EndpointMap, EndpointState, HeartbeatState, Peer};
+use crate::state::{Delta, Digest, EndpointMap, EndpointState, HeartbeatState, Peer};
 
 /// Gossip SYN: freshness claims for every peer the sender knows.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -24,8 +26,9 @@ pub struct Syn {
 /// peers the SYN sender is fresher on.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Ack<A> {
-    /// Full states the ACK sender believes are fresher.
-    pub deltas: Vec<(Peer, EndpointState<A>)>,
+    /// Updates the ACK sender believes are fresher (heartbeat-only in
+    /// the steady state, full states around topology changes).
+    pub deltas: Vec<(Peer, Delta<A>)>,
     /// Watermarks the ACK sender wants newer data for.
     pub requests: Vec<Digest>,
 }
@@ -33,8 +36,8 @@ pub struct Ack<A> {
 /// Gossip ACK2: the deltas answering an ACK's requests.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Ack2<A> {
-    /// Full states answering the requests.
-    pub deltas: Vec<(Peer, EndpointState<A>)>,
+    /// Updates answering the requests.
+    pub deltas: Vec<(Peer, Delta<A>)>,
 }
 
 /// What changed when a delta batch was applied.
@@ -62,14 +65,14 @@ impl<A: Clone + PartialEq> Gossiper<A> {
         let mut map = EndpointMap::new();
         map.insert(
             me,
-            EndpointState {
-                heartbeat: HeartbeatState {
+            EndpointState::new(
+                HeartbeatState {
                     generation,
                     version: 0,
                 },
-                app_version: 0,
+                0,
                 app,
-            },
+            ),
         );
         Gossiper {
             me,
@@ -118,13 +121,13 @@ impl<A: Clone + PartialEq> Gossiper<A> {
         self.version_clock += 1;
         let me = self.me;
         let st = self.map.get_mut(&me).expect("own state always present");
-        st.app = app;
+        st.app = Arc::new(app);
         st.app_version = self.version_clock;
     }
 
     /// The local application state.
     pub fn my_app(&self) -> &A {
-        &self.map[&self.me].app
+        self.map[&self.me].app.as_ref()
     }
 
     /// This node's current generation.
@@ -168,7 +171,7 @@ impl<A: Clone + PartialEq> Gossiper<A> {
             match self.map.get(&d.peer) {
                 Some(local) => {
                     if local.newer_than(d.generation, d.max_version) {
-                        deltas.push((d.peer, local.clone()));
+                        deltas.push((d.peer, local.delta_against(d.generation, d.max_version)));
                     } else if local.heartbeat.generation < d.generation
                         || (local.heartbeat.generation == d.generation
                             && local.max_version() < d.max_version)
@@ -190,10 +193,14 @@ impl<A: Clone + PartialEq> Gossiper<A> {
                 }
             }
         }
-        // Peers only we know about: volunteer them.
+        // Peers only we know about: volunteer them in full. Sorted
+        // membership lookup keeps this O(n log n) rather than a nested
+        // scan — with n-entry SYNs every round this is hot.
+        let mut claimed: Vec<Peer> = syn.digests.iter().map(|d| d.peer).collect();
+        claimed.sort_unstable();
         for (&peer, st) in &self.map {
-            if !syn.digests.iter().any(|d| d.peer == peer) {
-                deltas.push((peer, st.clone()));
+            if claimed.binary_search(&peer).is_err() {
+                deltas.push((peer, Delta::Full(st.clone())));
             }
         }
         Ack { deltas, requests }
@@ -207,7 +214,10 @@ impl<A: Clone + PartialEq> Gossiper<A> {
         for req in &ack.requests {
             if let Some(local) = self.map.get(&req.peer) {
                 if local.newer_than(req.generation, req.max_version) {
-                    deltas.push((req.peer, local.clone()));
+                    deltas.push((
+                        req.peer,
+                        local.delta_against(req.generation, req.max_version),
+                    ));
                 }
             }
         }
@@ -219,40 +229,66 @@ impl<A: Clone + PartialEq> Gossiper<A> {
         self.apply(&ack2.deltas)
     }
 
-    /// Applies a batch of remote states, keeping only fresher ones.
-    pub fn apply(&mut self, deltas: &[(Peer, EndpointState<A>)]) -> ApplyOutcome {
+    /// Applies a batch of deltas, keeping only fresher information.
+    pub fn apply(&mut self, deltas: &[(Peer, Delta<A>)]) -> ApplyOutcome {
         let mut out = ApplyOutcome::default();
-        for (peer, remote) in deltas {
+        for (peer, delta) in deltas {
             if *peer == self.me {
                 // Nobody overrides our own state.
                 continue;
             }
-            match self.map.get_mut(peer) {
-                Some(local) => {
-                    let local_gen = local.heartbeat.generation;
-                    let local_max = local.max_version();
-                    if remote.newer_than(local_gen, local_max) {
-                        if remote.heartbeat.generation > local_gen
-                            || remote.heartbeat.version > local.heartbeat.version
+            match delta {
+                Delta::Full(remote) => match self.map.get_mut(peer) {
+                    Some(local) => {
+                        let local_gen = local.heartbeat.generation;
+                        let local_max = local.max_version();
+                        if remote.newer_than(local_gen, local_max) {
+                            if remote.heartbeat.generation > local_gen
+                                || remote.heartbeat.version > local.heartbeat.version
+                            {
+                                out.heartbeat_advanced.push(*peer);
+                            }
+                            if remote.heartbeat.generation > local_gen
+                                || remote.app_version > local.app_version
+                            {
+                                out.app_advanced.push(*peer);
+                            }
+                            *local = remote.clone();
+                        }
+                    }
+                    None => {
+                        out.heartbeat_advanced.push(*peer);
+                        out.app_advanced.push(*peer);
+                        self.map.insert(*peer, remote.clone());
+                    }
+                },
+                Delta::Heartbeat(hb) => {
+                    // Only meaningful against a known state in the same
+                    // generation; anything else would have been sent as a
+                    // full state (or is stale and must be ignored).
+                    if let Some(local) = self.map.get_mut(peer) {
+                        if hb.generation == local.heartbeat.generation
+                            && hb.version > local.max_version()
                         {
+                            local.heartbeat.version = hb.version;
                             out.heartbeat_advanced.push(*peer);
                         }
-                        if remote.heartbeat.generation > local_gen
-                            || remote.app_version > local.app_version
-                        {
-                            out.app_advanced.push(*peer);
-                        }
-                        *local = remote.clone();
                     }
-                }
-                None => {
-                    out.heartbeat_advanced.push(*peer);
-                    out.app_advanced.push(*peer);
-                    self.map.insert(*peer, remote.clone());
                 }
             }
         }
         out
+    }
+
+    /// Applies a batch of full remote states, keeping only fresher ones.
+    /// Convenience for callers holding [`EndpointState`]s directly (seed
+    /// exchange, tests); gossip rounds go through [`Gossiper::apply`].
+    pub fn apply_states(&mut self, states: &[(Peer, EndpointState<A>)]) -> ApplyOutcome {
+        let deltas: Vec<(Peer, Delta<A>)> = states
+            .iter()
+            .map(|(peer, st)| (*peer, Delta::Full(st.clone())))
+            .collect();
+        self.apply(&deltas)
     }
 }
 
@@ -286,8 +322,8 @@ mod tests {
         // a learned about b and vice versa.
         assert_eq!(out_a.heartbeat_advanced, vec![Peer(1)]);
         assert_eq!(out_b.heartbeat_advanced, vec![Peer(0)]);
-        assert_eq!(a.endpoint(Peer(1)).unwrap().app, 200);
-        assert_eq!(b.endpoint(Peer(0)).unwrap().app, 100);
+        assert_eq!(*a.endpoint(Peer(1)).unwrap().app, 200);
+        assert_eq!(*b.endpoint(Peer(0)).unwrap().app, 100);
     }
 
     #[test]
@@ -316,13 +352,64 @@ mod tests {
     }
 
     #[test]
+    fn steady_state_rounds_ship_heartbeat_only_deltas() {
+        let (mut a, mut b) = two();
+        round(&mut a, &mut b);
+        // Converged; only heartbeats move from here on.
+        b.beat();
+        let syn = a.make_syn();
+        let ack = b.handle_syn(&syn);
+        assert_eq!(ack.deltas.len(), 1);
+        assert!(
+            matches!(ack.deltas[0], (Peer(1), Delta::Heartbeat(_))),
+            "converged peers exchange heartbeats, not full states: {:?}",
+            ack.deltas[0]
+        );
+        let (out_a, _) = a.handle_ack(&ack);
+        assert_eq!(out_a.heartbeat_advanced, vec![Peer(1)]);
+        assert!(out_a.app_advanced.is_empty());
+        assert_eq!(
+            a.endpoint(Peer(1)).unwrap(),
+            b.endpoint(Peer(1)).unwrap(),
+            "heartbeat delta reconstructs the identical state"
+        );
+    }
+
+    #[test]
+    fn stale_heartbeat_delta_is_ignored() {
+        let (mut a, mut b) = two();
+        round(&mut a, &mut b);
+        b.beat();
+        round(&mut a, &mut b);
+        // Replay an old heartbeat: must be a no-op.
+        let out = a.apply(&[(
+            Peer(1),
+            Delta::Heartbeat(HeartbeatState {
+                generation: 1,
+                version: 1,
+            }),
+        )]);
+        assert!(out.heartbeat_advanced.is_empty());
+        // A heartbeat for an unknown peer is dropped, not fabricated.
+        let out = a.apply(&[(
+            Peer(9),
+            Delta::Heartbeat(HeartbeatState {
+                generation: 1,
+                version: 5,
+            }),
+        )]);
+        assert!(out.heartbeat_advanced.is_empty());
+        assert!(a.endpoint(Peer(9)).is_none());
+    }
+
+    #[test]
     fn app_update_propagates_and_is_flagged() {
         let (mut a, mut b) = two();
         round(&mut a, &mut b);
         b.update_app(999);
         let (out_a, _) = round(&mut a, &mut b);
         assert_eq!(out_a.app_advanced, vec![Peer(1)]);
-        assert_eq!(a.endpoint(Peer(1)).unwrap().app, 999);
+        assert_eq!(*a.endpoint(Peer(1)).unwrap().app, 999);
     }
 
     #[test]
@@ -336,22 +423,22 @@ mod tests {
         round(&mut a, &mut b); // a <-> b
         round(&mut b, &mut c); // b <-> c, carries a's state to c
         assert!(c.endpoint(Peer(0)).is_some(), "c learned of a via b");
-        assert_eq!(c.endpoint(Peer(0)).unwrap().app, 0);
+        assert_eq!(*c.endpoint(Peer(0)).unwrap().app, 0);
     }
 
     #[test]
     fn own_state_is_never_overridden() {
         let (mut a, b) = two();
         // b fabricates a bogus newer state for a.
-        let bogus = EndpointState {
-            heartbeat: HeartbeatState {
+        let bogus = EndpointState::new(
+            HeartbeatState {
                 generation: 99,
                 version: 99,
             },
-            app_version: 99,
-            app: 12345,
-        };
-        let out = a.apply(&[(Peer(0), bogus)]);
+            99,
+            12345,
+        );
+        let out = a.apply_states(&[(Peer(0), bogus)]);
         assert!(out.heartbeat_advanced.is_empty());
         assert_eq!(*a.my_app(), 100);
         let _ = b;
@@ -368,7 +455,7 @@ mod tests {
         assert_eq!(out_a.heartbeat_advanced, vec![Peer(1)]);
         assert_eq!(out_a.app_advanced, vec![Peer(1)]);
         assert_eq!(a.endpoint(Peer(1)).unwrap().heartbeat.generation, 2);
-        assert_eq!(a.endpoint(Peer(1)).unwrap().app, 777);
+        assert_eq!(*a.endpoint(Peer(1)).unwrap().app, 777);
     }
 
     #[test]
@@ -388,7 +475,7 @@ mod tests {
         let (out_a, _) = round(&mut a, &mut b);
         assert_eq!(out_a.heartbeat_advanced, vec![Peer(1)]);
         assert_eq!(a.endpoint(Peer(1)).unwrap().heartbeat.generation, 2);
-        assert_eq!(a.endpoint(Peer(1)).unwrap().app, 999);
+        assert_eq!(*a.endpoint(Peer(1)).unwrap().app, 999);
     }
 
     #[test]
@@ -398,14 +485,14 @@ mod tests {
         a.seed_peer(Peer(1), seed_state.clone());
         assert_eq!(a.endpoint(Peer(1)).unwrap(), &seed_state);
         // Seeding again with stale data is a no-op.
-        let stale = EndpointState {
-            heartbeat: HeartbeatState {
+        let stale = EndpointState::new(
+            HeartbeatState {
                 generation: 0,
                 version: 0,
             },
-            app_version: 0,
-            app: 0,
-        };
+            0,
+            0,
+        );
         a.seed_peer(Peer(1), stale);
         assert_eq!(a.endpoint(Peer(1)).unwrap(), &seed_state);
     }

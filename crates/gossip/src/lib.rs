@@ -27,4 +27,4 @@ pub mod state;
 pub use failure::{FailureDetector, Liveness};
 pub use gossiper::{Ack, Ack2, ApplyOutcome, Gossiper, Syn};
 pub use phi::PhiDetector;
-pub use state::{Digest, EndpointMap, EndpointState, HeartbeatState, Peer};
+pub use state::{Delta, Digest, EndpointMap, EndpointState, HeartbeatState, Peer};

@@ -6,6 +6,7 @@
 //! to decide who has fresher information.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -31,6 +32,13 @@ pub struct HeartbeatState {
 }
 
 /// Everything one node knows about one peer.
+///
+/// The application payload is behind an [`Arc`]: endpoint states move
+/// between views on every syn/ack exchange, and sharing the payload
+/// makes those moves cheap regardless of its size (token lists grow
+/// with the vnode count). Only the owning node ever changes its own
+/// app state — via [`EndpointState::new`]-style replacement, never
+/// in-place — so shared payloads are immutable by construction.
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct EndpointState<A> {
     /// Liveness beacon.
@@ -38,10 +46,19 @@ pub struct EndpointState<A> {
     /// Version at which `app` last changed.
     pub app_version: u64,
     /// Application payload (ring status, tokens, ... — opaque to gossip).
-    pub app: A,
+    pub app: Arc<A>,
 }
 
 impl<A> EndpointState<A> {
+    /// Creates an endpoint state, wrapping the payload for sharing.
+    pub fn new(heartbeat: HeartbeatState, app_version: u64, app: A) -> Self {
+        EndpointState {
+            heartbeat,
+            app_version,
+            app: Arc::new(app),
+        }
+    }
+
     /// The freshness watermark peers compare: the larger of the heartbeat
     /// and application versions.
     pub fn max_version(&self) -> u64 {
@@ -54,6 +71,46 @@ impl<A> EndpointState<A> {
         self.heartbeat.generation > generation
             || (self.heartbeat.generation == generation && self.max_version() > max_version)
     }
+}
+
+impl<A: Clone> EndpointState<A> {
+    /// The delta to answer a `(generation, max_version)` watermark the
+    /// sender is fresher than. If the requester already holds this
+    /// generation and an app watermark at least as new, only the
+    /// heartbeat moved — send just that. Anything else (generation
+    /// behind, or the app advanced past the watermark) ships the full
+    /// state.
+    ///
+    /// The heartbeat-only case is exact, not approximate: states are
+    /// snapshots of the owner's monotone history, so a requester whose
+    /// watermark covers `app_version` already holds this very app state
+    /// (see [`Delta`]).
+    pub fn delta_against(&self, generation: u64, max_version: u64) -> Delta<A> {
+        if self.heartbeat.generation == generation && self.app_version <= max_version {
+            Delta::Heartbeat(self.heartbeat)
+        } else {
+            Delta::Full(self.clone())
+        }
+    }
+}
+
+/// One peer's update inside an ack: either the full endpoint state or —
+/// the steady-state hot path — just the heartbeat.
+///
+/// Nearly all gossip traffic is heartbeat churn: the app state (ring
+/// status + tokens) changes only around topology events. Shipping the
+/// two-word heartbeat instead of a full state clone keeps the syn/ack
+/// hot path allocation-light. Applying [`Delta::Heartbeat`] bumps the
+/// stored heartbeat version in place when `(generation, version)` is
+/// strictly fresher than the local watermark, and is a no-op otherwise
+/// (exactly the cases where a full state would have been a no-op too).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Delta<A> {
+    /// Full endpoint state: generation moved, the app state advanced
+    /// past the requester's watermark, or the peer is new to them.
+    Full(EndpointState<A>),
+    /// Heartbeat-only advance within a known generation.
+    Heartbeat(HeartbeatState),
 }
 
 /// A compact claim about a peer's freshness, exchanged in gossip SYNs.
@@ -75,14 +132,14 @@ mod tests {
     use super::*;
 
     fn st(gen: u64, hb: u64, appv: u64) -> EndpointState<u8> {
-        EndpointState {
-            heartbeat: HeartbeatState {
+        EndpointState::new(
+            HeartbeatState {
                 generation: gen,
                 version: hb,
             },
-            app_version: appv,
-            app: 0,
-        }
+            appv,
+            0,
+        )
     }
 
     #[test]
@@ -104,5 +161,17 @@ mod tests {
         assert!(s.newer_than(1, 6));
         assert!(!s.newer_than(1, 7));
         assert!(!s.newer_than(1, 8));
+    }
+
+    #[test]
+    fn delta_against_sends_heartbeat_only_when_app_is_covered() {
+        let s = st(1, 5, 3);
+        assert!(matches!(s.delta_against(1, 3), Delta::Heartbeat(hb) if hb.version == 5));
+        assert!(matches!(s.delta_against(1, 4), Delta::Heartbeat(_)));
+        // The app advanced past the requester's watermark: full state.
+        assert!(matches!(s.delta_against(1, 2), Delta::Full(_)));
+        // Generation mismatch: full state.
+        assert!(matches!(s.delta_against(0, 100), Delta::Full(_)));
+        assert!(matches!(s.delta_against(2, 0), Delta::Full(_)));
     }
 }

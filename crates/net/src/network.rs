@@ -110,13 +110,58 @@ impl Default for NetworkConfig {
     }
 }
 
+/// Per-link FIFO clocks.
+///
+/// `fifo_clamp` runs once per accepted message — the network hot path —
+/// so lookups index a dense `side × side` matrix (row = src, col = dst)
+/// instead of walking a tree. The matrix grows lazily with the highest
+/// address seen; addresses past the dense cap (not produced by the
+/// cluster layers, which number nodes from 0) fall back to a map.
+#[derive(Clone, Debug, Default)]
+struct LinkClocks {
+    grid: Vec<SimTime>,
+    side: usize,
+    sparse: BTreeMap<(Addr, Addr), SimTime>,
+}
+
+impl LinkClocks {
+    /// Largest address kept in the dense matrix: 1024² clocks is an
+    /// 8 MiB ceiling, and the lazy growth means real runs pay only
+    /// `(max_addr + 1)²`.
+    const MAX_DENSE: usize = 1024;
+
+    fn clock_mut(&mut self, src: Addr, dst: Addr) -> &mut SimTime {
+        let (s, d) = (src.0 as usize, dst.0 as usize);
+        if s < Self::MAX_DENSE && d < Self::MAX_DENSE {
+            let need = s.max(d) + 1;
+            if need > self.side {
+                self.grow(need);
+            }
+            &mut self.grid[s * self.side + d]
+        } else {
+            self.sparse.entry((src, dst)).or_insert(SimTime::ZERO)
+        }
+    }
+
+    fn grow(&mut self, need: usize) {
+        let new_side = need.next_power_of_two().min(Self::MAX_DENSE);
+        let mut grid = vec![SimTime::ZERO; new_side * new_side];
+        for r in 0..self.side {
+            grid[r * new_side..r * new_side + self.side]
+                .copy_from_slice(&self.grid[r * self.side..(r + 1) * self.side]);
+        }
+        self.grid = grid;
+        self.side = new_side;
+    }
+}
+
 /// The simulated network fabric.
 #[derive(Clone, Debug)]
 pub struct Network {
     config: NetworkConfig,
     next_id: u64,
     // Per-link clock enforcing FIFO delivery on each (src, dst) pair.
-    link_clock: BTreeMap<(Addr, Addr), SimTime>,
+    link_clock: LinkClocks,
     partitions: BTreeSet<(Addr, Addr)>,
     drop_windows: Vec<(FaultWindow, f64)>,
     delay_windows: Vec<(FaultWindow, SimDuration)>,
@@ -137,7 +182,7 @@ impl Network {
         Network {
             config,
             next_id: 0,
-            link_clock: BTreeMap::new(),
+            link_clock: LinkClocks::default(),
             partitions: BTreeSet::new(),
             drop_windows: Vec::new(),
             delay_windows: Vec::new(),
@@ -316,7 +361,7 @@ impl Network {
     /// FIFO per link: never deliver before an earlier message on the
     /// same (src, dst) pair. Advances the link clock.
     fn fifo_clamp(&mut self, src: Addr, dst: Addr, mut deliver_at: SimTime) -> SimTime {
-        let clock = self.link_clock.entry((src, dst)).or_insert(SimTime::ZERO);
+        let clock = self.link_clock.clock_mut(src, dst);
         if deliver_at <= *clock {
             deliver_at = *clock + SimDuration::from_nanos(1);
         }
@@ -396,6 +441,27 @@ mod tests {
             latency: LatencyModel::Constant(SimDuration::from_millis(1)),
             drop_probability: drop,
         })
+    }
+
+    #[test]
+    fn link_clocks_survive_growth_and_reach_the_sparse_fallback() {
+        let mut clocks = LinkClocks::default();
+        *clocks.clock_mut(Addr(0), Addr(1)) = SimTime::from_secs(5);
+        assert_eq!(clocks.side, 2);
+        // Touching a larger address grows the matrix; earlier clocks
+        // must carry over.
+        *clocks.clock_mut(Addr(100), Addr(7)) = SimTime::from_secs(9);
+        assert!(clocks.side >= 101);
+        assert_eq!(*clocks.clock_mut(Addr(0), Addr(1)), SimTime::from_secs(5));
+        assert_eq!(*clocks.clock_mut(Addr(100), Addr(7)), SimTime::from_secs(9));
+        // Untouched links start at zero, directions are independent.
+        assert_eq!(*clocks.clock_mut(Addr(1), Addr(0)), SimTime::ZERO);
+        // Addresses past the dense cap land in the sparse map and keep
+        // their clocks too.
+        let big = Addr(LinkClocks::MAX_DENSE as u32 + 3);
+        *clocks.clock_mut(big, Addr(1)) = SimTime::from_secs(11);
+        assert_eq!(*clocks.clock_mut(big, Addr(1)), SimTime::from_secs(11));
+        assert_eq!(clocks.sparse.len(), 1);
     }
 
     #[test]

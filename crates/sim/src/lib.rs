@@ -46,13 +46,16 @@ pub mod metrics;
 pub mod rng;
 pub mod stage;
 pub mod time;
+mod wheel;
 
 pub use cpu::{ps_completions, CpuGrant, CtxSwitchModel, Machine, MachineId, MachinePark};
-pub use engine::{Ctx, Engine, EventFn, RunOutcome, RunStats};
+pub use engine::{
+    Ctx, Engine, EventFn, HandlerFn, HandlerId, RunOutcome, RunStats, SchedulerKind, TimerId,
+};
 pub use faults::{FaultEvent, FaultPlan, FaultReport, FiredFault};
 pub use lock::{Acquire, HolderToken, LockId, LockTable};
 pub use memory::{MemoryModel, OutOfMemory, MIB};
-pub use metrics::{Counter, Histogram, TimeSeries};
+pub use metrics::{Counter, EngineCounters, Histogram, TimeSeries};
 pub use rng::DetRng;
 pub use stage::Stage;
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,341 @@
+//! Hierarchical timer wheel and slab event storage backing the default
+//! engine scheduler.
+//!
+//! The wheel holds *references* to events (`EventRef`); the events
+//! themselves live in a [`Slab`] with a free list, so steady-state
+//! periodic timers recycle the same slots and the same per-slot `Vec`s
+//! instead of allocating per event.
+//!
+//! Layout: 8 levels of 64 slots over ~1 ms ticks (`1 << TICK_SHIFT` ns).
+//! Level 0 resolves single ticks; each higher level covers 64× the span
+//! of the one below, so the full `u64` nanosecond range fits. Expiring a
+//! level-0 slot yields the whole tick's batch (the engine sorts it by
+//! `(at, seq)` to preserve exact tie order); expiring a higher-level slot
+//! cascades its entries down.
+//!
+//! Invariant: `elapsed` (the wheel's tick cursor) never moves past an
+//! occupied slot's deadline without that slot being taken, so occupied
+//! slots always sit at or ahead of the cursor and no wrap-around
+//! ambiguity arises.
+
+use crate::time::SimTime;
+
+/// log2 of the tick granule in nanoseconds (~1.05 ms).
+pub(crate) const TICK_SHIFT: u32 = 20;
+const LEVELS: usize = 8;
+const SLOT_BITS: u32 = 6;
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Cap on recycled slot `Vec`s retained for reuse.
+const SPARE_CAP: usize = 64;
+
+/// A scheduled event's wheel entry: firing key plus its slab address.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct EventRef {
+    /// Absolute firing time.
+    pub at: SimTime,
+    /// Scheduling sequence (tie breaker).
+    pub seq: u64,
+    /// Slab slot index.
+    pub idx: u32,
+    /// Slab slot generation at insertion.
+    pub gen: u32,
+}
+
+struct Level {
+    /// Bit `s` set iff slot `s` is non-empty.
+    occupied: u64,
+    slots: Vec<Vec<EventRef>>,
+}
+
+impl Level {
+    fn new() -> Self {
+        Level {
+            occupied: 0,
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+        }
+    }
+}
+
+/// The hierarchical wheel proper.
+pub(crate) struct Wheel {
+    /// Current tick cursor.
+    elapsed: u64,
+    levels: Vec<Level>,
+    /// Recycled slot/batch `Vec`s (capacity preserved).
+    spare: Vec<Vec<EventRef>>,
+}
+
+impl Wheel {
+    pub(crate) fn new() -> Self {
+        Wheel {
+            elapsed: 0,
+            levels: (0..LEVELS).map(|_| Level::new()).collect(),
+            spare: Vec::new(),
+        }
+    }
+
+    /// The tick a firing time falls into.
+    pub(crate) fn tick_of(at: SimTime) -> u64 {
+        at.as_nanos() >> TICK_SHIFT
+    }
+
+    /// Inserts an event reference; ticks before the cursor are clamped
+    /// onto it (the engine already clamps `at` to virtual now).
+    pub(crate) fn insert(&mut self, r: EventRef) {
+        let tick = Self::tick_of(r.at).max(self.elapsed);
+        let level = Self::level_for(self.elapsed, tick);
+        let slot = ((tick >> (SLOT_BITS as usize * level)) & (SLOTS as u64 - 1)) as usize;
+        let vec = &mut self.levels[level].slots[slot];
+        if vec.capacity() == 0 {
+            if let Some(spare) = self.spare.pop() {
+                *vec = spare;
+            }
+        }
+        vec.push(r);
+        self.levels[level].occupied |= 1 << slot;
+    }
+
+    /// Returns the next expiring tick batch at or before `target`,
+    /// advancing the cursor; `None` once nothing expires by `target`
+    /// (cursor lands on `target`). The returned batch is the raw slot
+    /// contents — the caller sorts by `(at, seq)`.
+    pub(crate) fn poll(&mut self, target: u64) -> Option<(u64, Vec<EventRef>)> {
+        loop {
+            let Some((level, slot, deadline)) = self.next_expiration() else {
+                self.elapsed = self.elapsed.max(target);
+                return None;
+            };
+            if deadline > target {
+                self.elapsed = self.elapsed.max(target);
+                return None;
+            }
+            self.elapsed = self.elapsed.max(deadline);
+            let vec = std::mem::take(&mut self.levels[level].slots[slot]);
+            self.levels[level].occupied &= !(1 << slot);
+            if level == 0 {
+                return Some((deadline, vec));
+            }
+            // Cascade a coarse slot's contents down into finer levels.
+            let mut vec = vec;
+            for r in vec.drain(..) {
+                self.insert(r);
+            }
+            self.recycle(vec);
+        }
+    }
+
+    /// Returns a drained batch `Vec` for slot reuse.
+    pub(crate) fn recycle(&mut self, mut v: Vec<EventRef>) {
+        if self.spare.len() < SPARE_CAP && v.capacity() > 0 {
+            v.clear();
+            self.spare.push(v);
+        }
+    }
+
+    /// Level index of the highest bit where `tick` differs from the
+    /// cursor: equal-or-near ticks land in level 0, far ones higher.
+    fn level_for(elapsed: u64, tick: u64) -> usize {
+        let differing = elapsed ^ tick;
+        if differing == 0 {
+            0
+        } else {
+            ((63 - differing.leading_zeros()) / SLOT_BITS).min(LEVELS as u32 - 1) as usize
+        }
+    }
+
+    /// Earliest occupied `(level, slot, deadline_tick)`, if any. The
+    /// first occupied level from the bottom holds the global minimum:
+    /// level `l` deadlines fall inside the current level-`l+1` span,
+    /// below any occupied coarser slot's start.
+    fn next_expiration(&self) -> Option<(usize, usize, u64)> {
+        for (level, lv) in self.levels.iter().enumerate() {
+            if lv.occupied == 0 {
+                continue;
+            }
+            let shift = SLOT_BITS as usize * level;
+            let cur = (self.elapsed >> shift) & (SLOTS as u64 - 1);
+            // Rotate so the cursor's slot is bit 0; the first set bit is
+            // the next slot to expire in rotation order.
+            let distance = lv.occupied.rotate_right(cur as u32).trailing_zeros() as u64;
+            let slot = (cur + distance) & (SLOTS as u64 - 1);
+            let span = 1u64 << shift;
+            let base = self.elapsed & !((span << SLOT_BITS) - 1);
+            let mut deadline = base + slot * span;
+            if slot < cur {
+                // Defensive: occupied slots never wrap behind the cursor
+                // (see module invariant), but keep the math total.
+                deadline += span << SLOT_BITS;
+            }
+            debug_assert!(
+                deadline >= self.elapsed,
+                "wheel cursor passed an occupied slot"
+            );
+            return Some((level, slot as usize, deadline));
+        }
+        None
+    }
+}
+
+/// Generation-checked slot storage with a free list. `insert` prefers a
+/// freed slot (a *pool hit*); `take` vacates the slot, bumps its
+/// generation (invalidating stale references), and returns it to the
+/// free list.
+pub(crate) struct Slab<T> {
+    slots: Vec<SlabSlot<T>>,
+    free: Vec<u32>,
+}
+
+struct SlabSlot<T> {
+    gen: u32,
+    val: Option<T>,
+}
+
+impl<T> Slab<T> {
+    pub(crate) fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Stores `val`, returning `(idx, gen, reused)` where `reused` says
+    /// whether a free-list slot was recycled (no growth).
+    pub(crate) fn insert(&mut self, val: T) -> (u32, u32, bool) {
+        if let Some(idx) = self.free.pop() {
+            let slot = &mut self.slots[idx as usize];
+            debug_assert!(slot.val.is_none());
+            slot.val = Some(val);
+            (idx, slot.gen, true)
+        } else {
+            let idx = u32::try_from(self.slots.len()).expect("slab capacity");
+            self.slots.push(SlabSlot {
+                gen: 0,
+                val: Some(val),
+            });
+            (idx, 0, false)
+        }
+    }
+
+    /// Removes and returns the value at `(idx, gen)`; `None` if the slot
+    /// was already taken (fired or cancelled) under that generation.
+    pub(crate) fn take(&mut self, idx: u32, gen: u32) -> Option<T> {
+        let slot = self.slots.get_mut(idx as usize)?;
+        if slot.gen != gen {
+            return None;
+        }
+        let val = slot.val.take()?;
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(idx);
+        Some(val)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(at_ns: u64, seq: u64) -> EventRef {
+        EventRef {
+            at: SimTime::from_nanos(at_ns),
+            seq,
+            idx: seq as u32,
+            gen: 0,
+        }
+    }
+
+    fn drain_all(w: &mut Wheel) -> Vec<u64> {
+        let mut out = Vec::new();
+        while let Some((_, mut batch)) = w.poll(u64::MAX) {
+            batch.sort_unstable_by_key(|e| (e.at, e.seq));
+            out.extend(batch.iter().map(|e| e.at.as_nanos()));
+            w.recycle(batch);
+        }
+        out
+    }
+
+    #[test]
+    fn near_and_far_ticks_come_out_in_order() {
+        let mut w = Wheel::new();
+        let times = [1u64 << 30, 3, 1 << 21, 1 << 45, (1 << 30) + 5, 1 << 62, 42];
+        for (i, &t) in times.iter().enumerate() {
+            w.insert(r(t, i as u64));
+        }
+        let mut sorted: Vec<u64> = times.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(drain_all(&mut w), sorted);
+    }
+
+    #[test]
+    fn same_tick_entries_batch_together() {
+        let mut w = Wheel::new();
+        // All within one ~1 ms granule.
+        w.insert(r(100, 0));
+        w.insert(r(50, 1));
+        w.insert(r(100, 2));
+        let (tick, batch) = w.poll(u64::MAX).expect("batch due");
+        assert_eq!(tick, 0);
+        assert_eq!(batch.len(), 3);
+        assert!(w.poll(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn poll_respects_target_and_advances_cursor() {
+        let mut w = Wheel::new();
+        w.insert(r(5 << TICK_SHIFT, 0));
+        assert!(w.poll(4).is_none(), "not due yet");
+        assert_eq!(w.elapsed, 4);
+        let (tick, batch) = w.poll(5).expect("now due");
+        assert_eq!(tick, 5);
+        assert_eq!(batch.len(), 1);
+    }
+
+    #[test]
+    fn cascade_preserves_sub_slot_order() {
+        let mut w = Wheel::new();
+        // Two ticks that share a level-1 slot but differ at level 0.
+        let a = 70u64 << TICK_SHIFT;
+        let b = 69u64 << TICK_SHIFT;
+        w.insert(r(a, 0));
+        w.insert(r(b, 1));
+        assert_eq!(drain_all(&mut w), vec![b, a]);
+    }
+
+    #[test]
+    fn insert_behind_cursor_clamps_forward() {
+        let mut w = Wheel::new();
+        assert!(w.poll(100).is_none());
+        w.insert(r(3 << TICK_SHIFT, 0)); // tick 3 < cursor 100
+        let (tick, batch) = w.poll(u64::MAX).expect("clamped event fires");
+        assert_eq!(tick, 100);
+        assert_eq!(batch.len(), 1);
+    }
+
+    #[test]
+    fn slot_vecs_are_recycled() {
+        let mut w = Wheel::new();
+        w.insert(r(1 << TICK_SHIFT, 0));
+        let (_, batch) = w.poll(u64::MAX).expect("due");
+        let cap = batch.capacity();
+        assert!(cap > 0);
+        w.recycle(batch);
+        // The spare vec is handed to the next slot that needs one.
+        w.insert(r(2 << TICK_SHIFT, 1));
+        let (_, batch) = w.poll(u64::MAX).expect("due");
+        assert_eq!(batch.capacity(), cap);
+    }
+
+    #[test]
+    fn slab_reuses_freed_slots_and_invalidates_stale_refs() {
+        let mut s: Slab<u32> = Slab::new();
+        let (i0, g0, reused) = s.insert(10);
+        assert!(!reused);
+        assert_eq!(s.take(i0, g0), Some(10));
+        assert_eq!(s.take(i0, g0), None, "double take is a no-op");
+        let (i1, g1, reused) = s.insert(20);
+        assert!(reused, "freed slot is recycled");
+        assert_eq!(i1, i0);
+        assert_ne!(g1, g0, "generation moved on");
+        assert_eq!(s.take(i0, g0), None, "stale ref cannot steal the slot");
+        assert_eq!(s.take(i1, g1), Some(20));
+    }
+}

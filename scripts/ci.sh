@@ -38,4 +38,17 @@ cargo test -q --test proptests
 echo "=== sweep cache keyed on fault plans ==="
 cargo test -q -p scalecheck-bench --test sweep_integration
 
+# Perf smoke: the engine microbenchmark must run, emit well-formed
+# bench_engine/v1 JSON with nonzero throughput on every scenario, and
+# the wheel/heap differential property suites must hold. The smoke
+# sizes keep this under a minute; trajectory numbers come from the
+# full run in scripts/run_experiments.sh (see EXPERIMENTS.md).
+echo "=== engine perf smoke (bench_engine --smoke) ==="
+target/release/bench_engine --smoke --out target/BENCH_engine_smoke.json
+target/release/bench_engine --verify target/BENCH_engine_smoke.json
+
+echo "=== wheel/heap differential properties ==="
+cargo test -q --test proptests wheel_and_heap_schedulers_are_indistinguishable
+cargo test -q --test proptests steady_state_periodic_timers_run_allocation_free
+
 echo "ci green"

@@ -51,4 +51,7 @@ run tbl_baselines "$BIN/tbl_baselines" --target 256
 run ext_hdfs "$BIN/ext_hdfs"
 run fig_c6127 "$BIN/fig_c6127"
 run tbl_faults "$BIN/tbl_faults" --bug c3831 --intensities "$FAULT_INTENSITIES"
+# Engine microbenchmark trajectory: writes BENCH_engine.json at the
+# repo root (tracked) in addition to the results/ transcript.
+run bench_engine "$BIN/bench_engine" --out BENCH_engine.json
 echo "all experiments done"

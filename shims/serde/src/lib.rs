@@ -215,6 +215,28 @@ impl<T: Deserialize> Deserialize for Box<T> {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(std::sync::Arc::new(T::deserialize(v)?))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+impl<T: Deserialize> Deserialize for std::rc::Rc<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(std::rc::Rc::new(T::deserialize(v)?))
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn serialize(&self) -> Value {
         match self {

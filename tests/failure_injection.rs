@@ -76,6 +76,28 @@ fn fault_crash_restart_accounts_downtime_and_recovers() {
     );
 }
 
+/// A crash cancels the dead node's periodic timers outright: nothing
+/// from the old timer epoch lingers in the schedule to fire as a stale
+/// no-op, and the engine's cancellation accounting shows the removals.
+#[test]
+fn crash_restart_leaves_no_stale_timers_for_the_dead_epoch() {
+    let mut cfg = base(12, 6);
+    cfg.faults = FaultPlan::new()
+        .crash(SimTime::from_secs(50), 3)
+        .restart(SimTime::from_secs(80), 3);
+    let r = run_real(&cfg);
+    assert!(r.quiesced, "the cluster must settle after the restart");
+    assert_eq!(
+        r.stale_timer_fires, 0,
+        "no timer from the pre-crash epoch may reach its fire time"
+    );
+    assert!(
+        r.engine.cancelled >= 2,
+        "the crash must cancel the node's gossip and fd timers, got {}",
+        r.engine.cancelled
+    );
+}
+
 #[test]
 fn partition_flaps_are_fault_attributed_and_heal() {
     let mut cfg = base(12, 7);

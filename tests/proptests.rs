@@ -262,7 +262,7 @@ proptest! {
             for i in 0..n {
                 let st = g.endpoint(Peer(i as u32));
                 prop_assert!(st.is_some(), "missing peer {i}");
-                prop_assert_eq!(st.unwrap().app, i as u32 * 100);
+                prop_assert_eq!(*st.unwrap().app, i as u32 * 100);
             }
         }
     }
@@ -284,6 +284,136 @@ proptest! {
         let mut sorted = times.clone();
         sorted.sort_unstable();
         prop_assert_eq!(fired, sorted);
+    }
+
+    /// Differential scheduler property: the timer wheel and the
+    /// reference binary heap fire the same events at the same times in
+    /// the same order, draw the same RNG sequence, and agree on which
+    /// cancellations landed — for randomized schedule/cancel/handler
+    /// workloads including follow-ups scheduled from inside events.
+    #[test]
+    fn wheel_and_heap_schedulers_are_indistinguishable(
+        ops in prop::collection::vec(
+            // (delay_ns, kind%3: 0 closure, 1 handler, 2 schedule-then-
+            //  cancel, spawn: follow-up from inside the event)
+            (0u64..50_000_000, 0u8..3, any::<bool>()),
+            1..60,
+        ),
+        seed in any::<u64>(),
+    ) {
+        use scalecheck_sim::{Engine, SchedulerKind};
+
+        #[derive(Default)]
+        struct Log {
+            // (virtual now, event tag, rng draw at fire time)
+            fired: Vec<(u64, u64, u64)>,
+            handler: Option<scalecheck_sim::HandlerId>,
+        }
+
+        type SchedLog = Vec<(u64, u64, u64)>;
+        let run = |kind: SchedulerKind| -> Result<
+            (SchedLog, scalecheck_sim::EngineCounters),
+            TestCaseError,
+        > {
+            let mut engine: Engine<Log> = Engine::with_scheduler(seed, kind);
+            let h = engine.register_handler(|log: &mut Log, ctx, tag| {
+                let draw = ctx.rng().next_u64();
+                log.fired.push((ctx.now().as_nanos(), tag, draw));
+            });
+            let mut log = Log {
+                handler: Some(h),
+                ..Default::default()
+            };
+            for (tag, &(delay, kind_op, spawn)) in ops.iter().enumerate() {
+                let tag = tag as u64;
+                let delay = SimDuration::from_nanos(delay);
+                match kind_op {
+                    0 => {
+                        engine.schedule_after(delay, move |log: &mut Log, ctx| {
+                            let draw = ctx.rng().next_u64();
+                            log.fired.push((ctx.now().as_nanos(), tag, draw));
+                            if spawn {
+                                let h = log.handler.expect("registered");
+                                ctx.schedule_handler_after(
+                                    SimDuration::from_nanos(1_000_003),
+                                    h,
+                                    tag + 10_000,
+                                );
+                            }
+                        });
+                    }
+                    1 => {
+                        engine.schedule_handler_after(delay, h, tag);
+                    }
+                    _ => {
+                        // Scheduled, then cancelled before running:
+                        // must never fire and never perturb the rest.
+                        let id = engine.schedule_after(delay, move |log: &mut Log, ctx| {
+                            log.fired.push((ctx.now().as_nanos(), tag + 20_000, 0));
+                            let _ = ctx;
+                        });
+                        prop_assert!(engine.cancel(id), "fresh timer must cancel");
+                        prop_assert!(!engine.cancel(id), "double cancel must fail");
+                    }
+                }
+            }
+            engine.run_to_completion(&mut log);
+            Ok((log.fired, engine.counters()))
+        };
+
+        let (wheel_log, wheel_counters) = run(SchedulerKind::Wheel)?;
+        let (heap_log, heap_counters) = run(SchedulerKind::Heap)?;
+        prop_assert_eq!(&wheel_log, &heap_log);
+        prop_assert!(
+            wheel_log.iter().all(|&(_, tag, _)| tag < 20_000),
+            "cancelled events must not fire"
+        );
+        // Schedule/fire/cancel accounting agrees; only the pool split
+        // (a wheel-side implementation detail) may differ.
+        prop_assert_eq!(wheel_counters.scheduled, heap_counters.scheduled);
+        prop_assert_eq!(wheel_counters.fired, heap_counters.fired);
+        prop_assert_eq!(wheel_counters.cancelled, heap_counters.cancelled);
+        prop_assert_eq!(wheel_counters.pending(), 0);
+        prop_assert_eq!(heap_counters.pending(), 0);
+    }
+
+    /// Steady-state periodic handler timers recycle slab slots instead
+    /// of allocating: after warm-up every schedule is a pool hit.
+    #[test]
+    fn steady_state_periodic_timers_run_allocation_free(
+        lanes in 1usize..8,
+        rounds in 16u64..200,
+    ) {
+        use scalecheck_sim::{Engine, HandlerId, SchedulerKind};
+
+        struct World {
+            left: u64,
+            handler: Option<HandlerId>,
+        }
+        let mut engine: Engine<World> = Engine::with_scheduler(1, SchedulerKind::Wheel);
+        let h = engine.register_handler(|w: &mut World, ctx, lane| {
+            if w.left > 0 {
+                w.left -= 1;
+                let h = w.handler.expect("registered");
+                ctx.schedule_handler_after(
+                    SimDuration::from_micros(700 + lane * 13),
+                    h,
+                    lane,
+                );
+            }
+        });
+        let mut w = World { left: rounds, handler: Some(h) };
+        for lane in 0..lanes as u64 {
+            engine.schedule_handler_after(SimDuration::from_micros(lane + 1), h, lane);
+        }
+        engine.run_to_completion(&mut w);
+        let c = engine.counters();
+        // Each lane's very first schedule takes a fresh slab slot; every
+        // steady-state reschedule reuses one — zero allocations/event.
+        prop_assert_eq!(c.pool_misses, lanes as u64);
+        prop_assert_eq!(c.pool_hits + c.pool_misses, c.scheduled);
+        prop_assert!(c.pool_hits >= c.scheduled - lanes as u64);
+        prop_assert_eq!(c.fired, c.scheduled);
     }
 
     /// φ never decreases while a peer stays silent, and resets after a
