@@ -19,12 +19,23 @@
 //! checksum (times, targets, and RNG draws all included), which the
 //! binary asserts and records as `deterministic_match`.
 //!
+//! The `tracer_overhead` scenario bends that frame: both sides are the
+//! wheel engine driving the 64-node gossip workload, with observability
+//! tracing **disabled** (`baseline`) vs **enabled** (`wheel`). The
+//! determinism check then proves tracing does not perturb the
+//! simulation, and the report adds the disabled-path budget: ns and
+//! allocations per emission call (measured through an opaque function
+//! pointer so the check cannot be optimized away) scaled by the
+//! emissions/event observed in the enabled trace. The repo gate is
+//! `disabled_overhead_pct < 2` and `disabled_allocs_per_emission == 0`.
+//!
 //! Options:
 //! * `--smoke` — small iteration counts (CI smoke stage);
 //! * `--out PATH` — where to write the JSON report (default
 //!   `BENCH_engine.json`);
 //! * `--verify PATH` — validate an existing report instead of running:
-//!   well-formed JSON, ≥ 4 scenarios, nonzero throughput, determinism;
+//!   well-formed JSON, ≥ 5 scenarios, nonzero throughput, determinism,
+//!   and the tracer-overhead budget;
 //! * `--json` — echo the report to stdout as well;
 //! * `--jobs N` / `--no-cache` — accepted for sweep-harness
 //!   compatibility; single-process, so both are no-ops.
@@ -381,6 +392,69 @@ fn run_storm(kind: SchedulerKind, handlers: bool, events: u64) -> Measured {
 }
 
 // ---------------------------------------------------------------------
+// Scenario 5: tracer overhead (disabled vs enabled observability).
+// ---------------------------------------------------------------------
+
+/// Gossip workload with tracing disabled vs enabled, plus a direct
+/// measurement of the disabled emission path. Returns the scenario and
+/// its extra report fields.
+fn run_tracer_overhead(rounds: u64, calls: u64) -> ScenarioResult {
+    // Disabled side: no tracer installed, every emission is one
+    // thread-local flag check.
+    scalecheck_obs::clear();
+    let disabled = run_gossip(SchedulerKind::Wheel, true, 64, rounds);
+
+    // Enabled side: same workload recording into a tracer; count what
+    // it emitted so the disabled cost can be scaled per event.
+    scalecheck_obs::install(scalecheck_obs::Tracer::new());
+    let enabled = run_gossip(SchedulerKind::Wheel, true, 64, rounds);
+    let trace = scalecheck_obs::take().expect("tracer installed").finish();
+    let emissions = trace.spans.len() as u64
+        + trace.instants.len() as u64
+        + trace.counters.len() as u64
+        + trace.metrics.iter().map(|h| h.count).sum::<u64>();
+    let emissions_per_event = if enabled.events > 0 {
+        emissions as f64 / enabled.events as f64
+    } else {
+        0.0
+    };
+
+    // Disabled emission cost, through an opaque function pointer so the
+    // flag check cannot be hoisted or deleted.
+    let f: fn(scalecheck_obs::Metric, u64) = scalecheck_obs::metric;
+    let f = std::hint::black_box(f);
+    let alloc0 = allocations();
+    let t0 = Instant::now();
+    for i in 0..calls {
+        f(scalecheck_obs::Metric::NetDelay, i);
+    }
+    let per_call_ns = t0.elapsed().as_secs_f64() * 1e9 / calls.max(1) as f64;
+    let emission_allocs = allocations() - alloc0;
+
+    let disabled_event_ns = disabled.wall_s * 1e9 / disabled.events.max(1) as f64;
+    let overhead_pct = if disabled_event_ns > 0.0 {
+        100.0 * per_call_ns * emissions_per_event / disabled_event_ns
+    } else {
+        0.0
+    };
+
+    ScenarioResult {
+        name: "tracer_overhead",
+        baseline: disabled,
+        wheel: enabled,
+        extra: vec![
+            ("emissions_per_event", emissions_per_event),
+            ("disabled_ns_per_emission", per_call_ns),
+            ("disabled_overhead_pct", overhead_pct),
+            (
+                "disabled_allocs_per_emission",
+                emission_allocs as f64 / calls.max(1) as f64,
+            ),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------
 // Harness.
 // ---------------------------------------------------------------------
 
@@ -388,6 +462,8 @@ struct ScenarioResult {
     name: &'static str,
     baseline: Measured,
     wheel: Measured,
+    /// Scenario-specific report fields (tracer overhead budget).
+    extra: Vec<(&'static str, f64)>,
 }
 
 impl ScenarioResult {
@@ -410,6 +486,7 @@ fn run_all(smoke: bool) -> Vec<ScenarioResult> {
         name: "pure_timers",
         baseline: run_pure_timers(SchedulerKind::Heap, false, rounds),
         wheel: run_pure_timers(SchedulerKind::Wheel, true, rounds),
+        extra: Vec::new(),
     });
 
     let rounds = size(100_000, 4_000);
@@ -417,6 +494,7 @@ fn run_all(smoke: bool) -> Vec<ScenarioResult> {
         name: "gossip_64",
         baseline: run_gossip(SchedulerKind::Heap, false, 64, rounds),
         wheel: run_gossip(SchedulerKind::Wheel, true, 64, rounds),
+        extra: Vec::new(),
     });
 
     let rounds = size(25_000, 1_200);
@@ -424,6 +502,7 @@ fn run_all(smoke: bool) -> Vec<ScenarioResult> {
         name: "gossip_256",
         baseline: run_gossip(SchedulerKind::Heap, false, 256, rounds),
         wheel: run_gossip(SchedulerKind::Wheel, true, 256, rounds),
+        extra: Vec::new(),
     });
 
     let events = size(300_000, 10_000);
@@ -431,7 +510,13 @@ fn run_all(smoke: bool) -> Vec<ScenarioResult> {
         name: "fault_storm",
         baseline: run_storm(SchedulerKind::Heap, false, events),
         wheel: run_storm(SchedulerKind::Wheel, true, events),
+        extra: Vec::new(),
     });
+
+    out.push(run_tracer_overhead(
+        size(100_000, 4_000),
+        size(10_000_000, 1_000_000),
+    ));
 
     out
 }
@@ -454,17 +539,23 @@ fn report_value(results: &[ScenarioResult], smoke: bool) -> serde_json::Value {
     let scenarios: Vec<serde_json::Value> = results
         .iter()
         .map(|r| {
-            json!({
+            let mut v = json!({
                 "name": r.name,
                 "baseline": side_json(&r.baseline),
                 "wheel": side_json(&r.wheel),
                 "speedup": r.speedup(),
                 "deterministic_match": r.matches(),
-            })
+            });
+            if let serde_json::Value::Object(entries) = &mut v {
+                for (k, val) in &r.extra {
+                    entries.push(((*k).to_string(), json!(*val)));
+                }
+            }
+            v
         })
         .collect();
     json!({
-        "schema": "bench_engine/v1",
+        "schema": "bench_engine/v2",
         "smoke": smoke,
         "scenarios": scenarios,
     })
@@ -473,16 +564,17 @@ fn report_value(results: &[ScenarioResult], smoke: bool) -> serde_json::Value {
 fn verify(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let v: serde_json::Value = serde_json::from_str(&text).map_err(|e| format!("parse: {e:?}"))?;
-    if v.get("schema").and_then(|s| s.as_str()) != Some("bench_engine/v1") {
-        return Err("schema is not bench_engine/v1".into());
+    if v.get("schema").and_then(|s| s.as_str()) != Some("bench_engine/v2") {
+        return Err("schema is not bench_engine/v2".into());
     }
     let scenarios = v
         .get("scenarios")
         .and_then(|s| s.as_array())
         .ok_or("missing scenarios array")?;
-    if scenarios.len() < 4 {
-        return Err(format!("expected >= 4 scenarios, got {}", scenarios.len()));
+    if scenarios.len() < 5 {
+        return Err(format!("expected >= 5 scenarios, got {}", scenarios.len()));
     }
+    let mut saw_tracer = false;
     for s in scenarios {
         let name = s.get("name").and_then(|n| n.as_str()).unwrap_or("?");
         for side in ["baseline", "wheel"] {
@@ -498,6 +590,27 @@ fn verify(path: &str) -> Result<(), String> {
         if s.get("deterministic_match").and_then(|m| m.as_bool()) != Some(true) {
             return Err(format!("{name}: baseline and wheel runs diverged"));
         }
+        if name == "tracer_overhead" {
+            saw_tracer = true;
+            let field = |k: &str| {
+                s.get(k)
+                    .and_then(|x| x.as_f64())
+                    .ok_or_else(|| format!("{name}: missing {k}"))
+            };
+            let pct = field("disabled_overhead_pct")?;
+            if pct.is_nan() || pct >= 2.0 {
+                return Err(format!("{name}: disabled overhead {pct:.3}% >= 2%"));
+            }
+            let allocs = field("disabled_allocs_per_emission")?;
+            if allocs != 0.0 {
+                return Err(format!(
+                    "{name}: disabled path allocates ({allocs}/emission)"
+                ));
+            }
+        }
+    }
+    if !saw_tracer {
+        return Err("missing tracer_overhead scenario".into());
     }
     Ok(())
 }
@@ -560,6 +673,25 @@ fn main() {
                 },
             ],
             11,
+        );
+    }
+
+    if let Some(r) = results.iter().find(|r| r.name == "tracer_overhead") {
+        let get = |k: &str| {
+            r.extra
+                .iter()
+                .find(|(n, _)| *n == k)
+                .map(|(_, v)| *v)
+                .unwrap_or(0.0)
+        };
+        println!(
+            "\ntracer_overhead: baseline = tracing disabled, wheel = enabled; \
+             {:.2} emissions/event x {:.2} ns disabled check = {:.4}% of event cost \
+             (< 2% required), {} allocs/emission",
+            get("emissions_per_event"),
+            get("disabled_ns_per_emission"),
+            get("disabled_overhead_pct"),
+            get("disabled_allocs_per_emission"),
         );
     }
 

@@ -3,6 +3,13 @@
 //! ```text
 //! cargo run --release -p scalecheck-bench --bin diag_run -- --bug c3831 --nodes 128 --mode real
 //! ```
+//!
+//! With `--trace-out PATH` the run records a full observability trace
+//! and writes it as Chrome `trace_event` JSON (load it in Perfetto or
+//! `chrome://tracing`; the native trace rides along under the
+//! `"scalecheck"` key). With `--diverge A.json B.json` no scenario runs:
+//! the two traces are loaded and the divergence analyzer attributes
+//! where B's virtual time went relative to A.
 
 use scalecheck::{CellSpec, ExecMode, COLO_CORES};
 use scalecheck_bench::{
@@ -10,10 +17,37 @@ use scalecheck_bench::{
 };
 
 const USAGE: &str = "usage: diag_run [--bug c3831|c3881|c5456|c6127] [--nodes N] \
-[--mode real|colo|pil] [--seed N] [--jobs N] [--no-cache]";
+[--mode real|colo|pil] [--seed N] [--jobs N] [--no-cache] [--trace-out PATH] \
+[--diverge TRACE_A TRACE_B]";
+
+/// Reads the two paths following `--diverge` (a two-valued flag;
+/// [`flag_value`] handles only single-valued ones).
+fn diverge_paths(args: &[String]) -> Option<(String, String)> {
+    let i = args.iter().position(|a| a == "--diverge")?;
+    match (args.get(i + 1), args.get(i + 2)) {
+        (Some(a), Some(b)) => Some((a.clone(), b.clone())),
+        _ => exit_usage(USAGE, "--diverge expects two trace paths"),
+    }
+}
+
+fn load_trace(path: &str) -> scalecheck_obs::Trace {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| exit_usage(USAGE, &format!("read {path}: {e}")));
+    scalecheck_obs::from_chrome_json(&text)
+        .unwrap_or_else(|e| exit_usage(USAGE, &format!("parse {path}: {e}")))
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if let Some((path_a, path_b)) = diverge_paths(&args) {
+        let a = load_trace(&path_a);
+        let b = load_trace(&path_b);
+        let report = scalecheck_obs::diverge(&a, &b);
+        print!("{}", report.render());
+        return;
+    }
+
     let opts = SweepOptions::from_args(&args).unwrap_or_else(|e| exit_usage(USAGE, &e));
     let bug = flag_value(&args, "--bug")
         .unwrap_or_else(|e| exit_usage(USAGE, &e))
@@ -28,7 +62,12 @@ fn main() {
         .unwrap_or_else(|e| exit_usage(USAGE, &e))
         .unwrap_or(1);
 
-    let cfg = try_bug_scenario(&bug, n, seed).unwrap_or_else(|e| exit_usage(USAGE, &e));
+    let trace_out = flag_value(&args, "--trace-out").unwrap_or_else(|e| exit_usage(USAGE, &e));
+
+    let mut cfg = try_bug_scenario(&bug, n, seed).unwrap_or_else(|e| exit_usage(USAGE, &e));
+    if trace_out.is_some() {
+        cfg.trace = scalecheck_obs::TraceConfig::enabled();
+    }
     let exec_mode = match mode.as_str() {
         "real" => ExecMode::Real,
         "colo" => ExecMode::Colo { cores: COLO_CORES },
@@ -89,4 +128,31 @@ fn main() {
         r.client_ops_failed,
         r.unavailability()
     );
+    let e = &r.engine;
+    let pool_total = e.pool_hits + e.pool_misses;
+    println!(
+        "engine: scheduled={} fired={} cancelled={} pool_hit_rate={:.3}",
+        e.scheduled,
+        e.fired,
+        e.cancelled,
+        if pool_total > 0 {
+            e.pool_hits as f64 / pool_total as f64
+        } else {
+            0.0
+        }
+    );
+
+    if let Some(path) = trace_out {
+        let mut trace = r.obs.clone();
+        trace.meta.label = format!("{bug}@{n} {}", exec_mode.label());
+        let json = scalecheck_obs::to_chrome_json(&trace);
+        std::fs::write(&path, json.as_bytes())
+            .unwrap_or_else(|e| exit_usage(USAGE, &format!("write {path}: {e}")));
+        println!(
+            "trace: {} spans, {} instants, {} counter samples -> {path}",
+            trace.spans.len(),
+            trace.instants.len(),
+            trace.counters.len()
+        );
+    }
 }

@@ -171,7 +171,9 @@ impl CalcEngine {
             return (wire.clone(), *ops, true);
         }
         let mut counter = OpCounter::new();
-        let out = self.calculator().calculate(ring, changes, &mut counter);
+        let out = self
+            .calculator()
+            .calculate_traced(ring, changes, &mut counter);
         let wire = PendingWire::from(&out);
         self.exec_cache
             .insert(digest.0, (wire.clone(), counter.ops()));

@@ -193,6 +193,9 @@ pub struct ScenarioConfig {
     pub client: crate::datapath::ClientConfig,
     /// Record a deterministic event trace (replay debugging, §7 f).
     pub trace_events: bool,
+    /// Full observability tracing (spans, metrics, utilization
+    /// timelines) on virtual time; see [`scalecheck_obs`].
+    pub trace: scalecheck_obs::TraceConfig,
     /// §6's scale-checkable redesign: run the whole colocated cluster as
     /// one global event queue with one multithreaded handler (SEDA-like)
     /// instead of thousands of per-node daemon threads. Removes the
@@ -233,6 +236,7 @@ impl ScenarioConfig {
             faults: FaultPlan::default(),
             client: crate::datapath::ClientConfig::light(),
             trace_events: false,
+            trace: scalecheck_obs::TraceConfig::default(),
             global_event_queue: false,
         }
     }

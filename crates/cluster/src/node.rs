@@ -112,8 +112,12 @@ pub struct Node {
     pub departed: bool,
     /// Task parked on the gossip stage waiting for the ring lock.
     pub parked_gossip: Option<Task>,
+    /// When the parked gossip task started waiting (lock-wait spans).
+    pub parked_gossip_at: Option<SimTime>,
     /// Task parked on the calc stage waiting for the ring lock.
     pub parked_calc: Option<Task>,
+    /// When the parked calc task started waiting (lock-wait spans).
+    pub parked_calc_at: Option<SimTime>,
     /// Order-enforcement holding pen (replay only): messages waiting
     /// for their recorded turn, with a forced-release deadline.
     pub held: Vec<(SimTime, Envelope)>,
@@ -159,7 +163,9 @@ impl Node {
             active: false,
             departed: false,
             parked_gossip: None,
+            parked_gossip_at: None,
             parked_calc: None,
+            parked_calc_at: None,
             held: Vec::new(),
             rebalance_bytes: 0,
             clock_skew: SimDuration::ZERO,

@@ -70,6 +70,10 @@ pub struct RunReport {
     pub faults: FaultReport,
     /// Deterministic event trace (empty unless `trace_events` was set).
     pub trace: TraceLog,
+    /// Full observability trace: spans, instants, utilization counters,
+    /// and metric histograms on virtual time (buffers empty unless
+    /// `trace.enabled` was set; the metadata header is always stamped).
+    pub obs: scalecheck_obs::Trace,
 }
 
 impl RunReport {
@@ -121,6 +125,7 @@ mod tests {
             stale_timer_fires: 0,
             faults: FaultReport::default(),
             trace: TraceLog::default(),
+            obs: scalecheck_obs::Trace::default(),
         };
         assert!((r.flaps_k() - 2.5).abs() < 1e-9);
     }

@@ -24,6 +24,7 @@ use std::collections::BTreeMap;
 use scalecheck_gossip::Liveness;
 use scalecheck_memo::{OrderDecision, OrderEnforcer, OrderRecorder};
 use scalecheck_net::{Addr, Network};
+use scalecheck_obs::{Metric, SpanName, ENGINE_PID, TID_CALC, TID_GOSSIP};
 use scalecheck_ring::{spread_tokens, NodeId, NodeStatus, PendingRanges, RingTable};
 use scalecheck_sim::{
     Acquire, Ctx, CtxSwitchModel, Engine, EngineCounters, FaultEvent, FaultReport, FiredFault,
@@ -78,7 +79,17 @@ pub struct ClusterState {
     stale_timer_fires: u64,
     client_rng: scalecheck_sim::DetRng,
     client_stats: crate::datapath::ClientStats,
-    trace: crate::trace::TraceLog,
+    /// Observability tracing active (full spans or the legacy event log;
+    /// both feed off the thread-local [`scalecheck_obs`] tracer).
+    trace_enabled: bool,
+    /// Cumulative per-node `[gossip, calc]` CPU demand submitted, in
+    /// virtual ns, billed by *work kind* (C3831 runs calc work on the
+    /// gossip stage; attribution needs the kind, not the host stage).
+    /// PIL-replaced sleeps bill nothing — they do not occupy a core.
+    work_busy: Vec<[u64; 2]>,
+    /// Last sampled `work_busy` readings (the utilization sampler
+    /// differences successive readings).
+    busy_sampled: Vec<[u64; 2]>,
     inflight: i64,
     deliveries: u64,
     forced_releases: u64,
@@ -300,7 +311,9 @@ fn build(cfg: &ScenarioConfig, calc: CalcEngine) -> ClusterState {
         workload_end_at: (SimTime::ZERO + cfg.workload_end).max(fault_horizon),
         client_rng,
         client_stats: crate::datapath::ClientStats::default(),
-        trace: crate::trace::TraceLog::new(cfg.trace_events),
+        trace_enabled: cfg.trace.enabled || cfg.trace_events,
+        work_busy: vec![[0, 0]; total],
+        busy_sampled: vec![[0, 0]; total],
         cfg: cfg.clone(),
         nodes,
         net,
@@ -436,11 +449,13 @@ fn fd_check(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>, i: usize, ep
     let newly_dead = node.fd.interpret_all(ctx.now() + node.clock_skew);
     let observer = node.id;
     for peer in newly_dead {
-        st.trace.push(crate::trace::TraceEvent::Convicted {
-            at: ctx.now(),
-            observer,
-            peer: crate::ringinfo::node_of(peer),
-        });
+        scalecheck_obs::instant(
+            SpanName::FdConvicted,
+            observer.0,
+            TID_GOSSIP,
+            ctx.now().as_nanos(),
+            crate::ringinfo::node_of(peer).0 as u64,
+        );
     }
     let interval = st.cfg.fd_interval;
     let fh = st.fd_handler.expect("handlers registered before run");
@@ -494,10 +509,17 @@ fn start_task(
         match st.locks.acquire(st.ring_lock[i], token, ctx.now()) {
             Acquire::Granted => run_task(st, ctx, i, stage, task, true),
             Acquire::Queued => {
+                let now = ctx.now();
                 let node = &mut st.nodes[i];
                 match stage {
-                    StageKind::Gossip => node.parked_gossip = Some(task),
-                    StageKind::Calc => node.parked_calc = Some(task),
+                    StageKind::Gossip => {
+                        node.parked_gossip = Some(task);
+                        node.parked_gossip_at = Some(now);
+                    }
+                    StageKind::Calc => {
+                        node.parked_calc = Some(task);
+                        node.parked_calc_at = Some(now);
+                    }
                 }
             }
         }
@@ -533,12 +555,29 @@ fn lock_granted(
     stage: StageKind,
 ) {
     let node = &mut st.nodes[i];
-    let parked = match stage {
-        StageKind::Gossip => node.parked_gossip.take(),
-        StageKind::Calc => node.parked_calc.take(),
+    let (parked, parked_at) = match stage {
+        StageKind::Gossip => (node.parked_gossip.take(), node.parked_gossip_at.take()),
+        StageKind::Calc => (node.parked_calc.take(), node.parked_calc_at.take()),
     };
     match parked {
-        Some(task) => run_task(st, ctx, i, stage, task, true),
+        Some(task) => {
+            if let Some(since) = parked_at {
+                let tid = match stage {
+                    StageKind::Gossip => TID_GOSSIP,
+                    StageKind::Calc => TID_CALC,
+                };
+                let now = ctx.now();
+                scalecheck_obs::span(
+                    SpanName::LockWait,
+                    i as u32,
+                    tid,
+                    since.as_nanos(),
+                    now.since(since).as_nanos(),
+                    0,
+                );
+            }
+            run_task(st, ctx, i, stage, task, true)
+        }
         None => {
             // The waiter vanished (node crashed/departed): release so the
             // lock does not leak.
@@ -550,17 +589,28 @@ fn lock_granted(
 /// Submits compute of `demand` for node `i`, returning its completion
 /// time. In PIL mode, PIL-replaced work (`pil_replaced = true`) sleeps
 /// instead of occupying a core.
+///
+/// `work` is the *kind* of work, not the stage hosting it: C3831 runs
+/// the recalculation inline on the gossip stage, and the utilization
+/// timeline must still bill that demand to calc for the divergence
+/// analyzer's wait attribution to point at the right culprit.
 fn compute(
     st: &mut ClusterState,
     now: SimTime,
     i: usize,
     demand: SimDuration,
+    work: StageKind,
     pil_replaced: bool,
 ) -> SimTime {
     let pil_mode = matches!(st.cfg.deployment, DeploymentMode::PilReplay { .. });
     if pil_mode && pil_replaced {
         now + demand
     } else {
+        let slot = match work {
+            StageKind::Gossip => 0,
+            StageKind::Calc => 1,
+        };
+        st.work_busy[i][slot] += demand.as_nanos();
         let machine = st.nodes[i].machine;
         st.park.get_mut(machine).submit(now, demand).finish
     }
@@ -577,21 +627,33 @@ fn run_task(
     let now = ctx.now();
     match task {
         Task::SendRound => {
-            let demand = st.cfg.msg_base_cost
-                + st.cfg
-                    .per_endpoint_cost
-                    .saturating_mul(st.nodes[i].gossiper.endpoints().len() as u64);
-            let done_at = compute(st, now, i, demand, false);
+            let endpoints = st.nodes[i].gossiper.endpoints().len() as u64;
+            let demand = st.cfg.msg_base_cost + st.cfg.per_endpoint_cost.saturating_mul(endpoints);
+            let done_at = compute(st, now, i, demand, StageKind::Gossip, false);
+            scalecheck_obs::span(
+                SpanName::GossipSendRound,
+                i as u32,
+                TID_GOSSIP,
+                now.as_nanos(),
+                done_at.since(now).as_nanos(),
+                endpoints,
+            );
             ctx.schedule_at(done_at, move |st, ctx| {
                 finish_send_round(st, ctx, i, stage);
             });
         }
         Task::Receive(env) => {
-            let demand = st.cfg.msg_base_cost
-                + st.cfg
-                    .per_endpoint_cost
-                    .saturating_mul(env.msg.entries() as u64);
-            let done_at = compute(st, now, i, demand, false);
+            let entries = env.msg.entries() as u64;
+            let demand = st.cfg.msg_base_cost + st.cfg.per_endpoint_cost.saturating_mul(entries);
+            let done_at = compute(st, now, i, demand, StageKind::Gossip, false);
+            scalecheck_obs::span(
+                SpanName::GossipReceive,
+                i as u32,
+                TID_GOSSIP,
+                now.as_nanos(),
+                done_at.since(now).as_nanos(),
+                entries,
+            );
             ctx.schedule_at(done_at, move |st, ctx| {
                 finish_receive(st, ctx, i, stage, env, holds_lock);
             });
@@ -602,7 +664,7 @@ fn run_task(
                 // compute off-lock from the snapshot — the C5456 fix.
                 let clone_cost =
                     SimDuration::from_nanos(100 * (st.cfg.total_nodes() * st.cfg.vnodes) as u64);
-                let done_at = compute(st, now, i, clone_cost, false);
+                let done_at = compute(st, now, i, clone_cost, StageKind::Calc, false);
                 ctx.schedule_at(done_at, move |st, ctx| {
                     let snapshot = st.nodes[i].ring.clone();
                     if holds_lock {
@@ -637,13 +699,32 @@ fn begin_calc_compute(
     let (pending, duration, _source) =
         st.calc
             .calculate(st.nodes[i].id.0, idx, &ring_view, &changes);
-    let done_at = compute(st, now, i, duration, true);
+    let done_at = compute(st, now, i, duration, StageKind::Calc, true);
+    if scalecheck_obs::enabled() {
+        let pil_mode = matches!(st.cfg.deployment, DeploymentMode::PilReplay { .. });
+        let name = if pil_mode {
+            SpanName::CalcPilSleep
+        } else {
+            SpanName::CalcRecalculate
+        };
+        let tid = match stage {
+            StageKind::Gossip => TID_GOSSIP,
+            StageKind::Calc => TID_CALC,
+        };
+        // `duration = ops * ns_per_op` by construction, so the op count
+        // round-trips exactly through the span's integer argument.
+        let ops = duration.as_nanos() / st.cfg.ns_per_op.max(1);
+        scalecheck_obs::span(
+            name,
+            i as u32,
+            tid,
+            now.as_nanos(),
+            done_at.since(now).as_nanos(),
+            ops,
+        );
+        scalecheck_obs::metric(Metric::CalcDuration, done_at.since(now).as_nanos());
+    }
     ctx.schedule_at(done_at, move |st, ctx| {
-        st.trace.push(crate::trace::TraceEvent::CalcFinished {
-            at: ctx.now(),
-            node: st.nodes[i].id,
-            duration,
-        });
         finish_calc(st, ctx, i, stage, pending, release_lock_after);
     });
 }
@@ -842,10 +923,13 @@ fn apply_pending(
             st.nodes[i].departed = true;
             cancel_node_timers(st, ctx, i);
             st.crashed += 1;
-            st.trace.push(crate::trace::TraceEvent::NodeCrashed {
-                at: now,
-                node: st.nodes[i].id,
-            });
+            scalecheck_obs::instant(
+                SpanName::NodeCrashed,
+                st.nodes[i].id.0,
+                TID_GOSSIP,
+                now.as_nanos(),
+                0,
+            );
             return;
         }
         st.nodes[i].rebalance_bytes = want;
@@ -863,7 +947,7 @@ fn end_task(
     stage: StageKind,
     _was_calc: bool,
 ) {
-    stage_of(&mut st.nodes[i], stage).finish();
+    stage_of(&mut st.nodes[i], stage).finish_at(ctx.now());
     pump(st, ctx, i, stage);
 }
 
@@ -883,6 +967,7 @@ fn send_msg(
     let src = st.nodes[i].id;
     let now = ctx.now();
     if let Ok(d) = st.net.offer(now, ctx.rng(), addr_of(src), addr_of(dst)) {
+        scalecheck_obs::metric(Metric::NetDelay, d.deliver_at.since(now).as_nanos());
         st.inflight += 1;
         let env = Envelope { src, dst, key, msg };
         if let Some(dup_at) = d.duplicate_at {
@@ -1043,20 +1128,25 @@ fn schedule_workload(engine: &mut Engine<ClusterState>, cfg: &ScenarioConfig) {
 /// breaks time ties by schedule sequence), so the fired-fault log is
 /// deterministic.
 fn schedule_faults(engine: &mut Engine<ClusterState>, cfg: &ScenarioConfig) {
-    for ev in cfg.faults.events.clone() {
+    for (idx, ev) in cfg.faults.events.clone().into_iter().enumerate() {
         engine.schedule_at(ev.at(), move |st: &mut ClusterState, ctx| {
-            fire_fault(st, ctx, &ev)
+            fire_fault(st, ctx, &ev, idx)
         });
     }
 }
 
-fn fire_fault(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>, ev: &FaultEvent) {
+fn fire_fault(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>, ev: &FaultEvent, idx: usize) {
     let now = ctx.now();
     let label = ev.label();
-    st.trace.push(crate::trace::TraceEvent::FaultInjected {
-        at: now,
-        label: label.clone(),
-    });
+    // The instant's argument is the fault's plan index; the label is
+    // re-derived from the config when the legacy event log is rebuilt.
+    scalecheck_obs::instant(
+        SpanName::FaultInjected,
+        ENGINE_PID,
+        0,
+        now.as_nanos(),
+        idx as u64,
+    );
     st.fault_fired.push(FiredFault { at: now, label });
     match ev {
         FaultEvent::Partition { a, b, .. } => set_partition(st, a, b, true),
@@ -1118,7 +1208,9 @@ fn crash_node(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>, i: usize) 
     node.gossip_stage.clear();
     node.calc_stage.clear();
     node.parked_gossip = None;
+    node.parked_gossip_at = None;
     node.parked_calc = None;
+    node.parked_calc_at = None;
     node.held.clear();
     node.calc_dirty = false;
     node.calc_queued = false;
@@ -1131,8 +1223,7 @@ fn crash_node(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>, i: usize) 
             st.nodes[k].fd.set_fault_suspect(peer, true);
         }
     }
-    st.trace
-        .push(crate::trace::TraceEvent::NodeCrashed { at: now, node: id });
+    scalecheck_obs::instant(SpanName::NodeCrashed, id.0, TID_GOSSIP, now.as_nanos(), 0);
 }
 
 /// Brings a fault-crashed node back: fresh gossip generation, empty
@@ -1276,6 +1367,44 @@ pub fn run_scenario_with_db(
     }
     engine.schedule_at(SimTime::ZERO, sample_flaps);
 
+    // Per-node per-work-kind utilization timelines (virtual-time
+    // sampled): each tick differences the cumulative CPU demand billed
+    // by `compute` and emits permille-of-interval counters. Demand is
+    // credited at submission, so a window in which a long recalculation
+    // starts can read above 1000‰. Pure observation — no RNG draws, no
+    // state the simulation reads — so enabling it cannot perturb a run.
+    fn sample_utilization(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>) {
+        let now = ctx.now();
+        let interval = st.cfg.trace.sample_every_ns.max(1);
+        for i in 0..st.nodes.len() {
+            let [gossip, calc] = st.work_busy[i];
+            let [prev_g, prev_c] = st.busy_sampled[i];
+            st.busy_sampled[i] = [gossip, calc];
+            let ts = now.as_nanos();
+            scalecheck_obs::counter(
+                SpanName::StageUtilization,
+                i as u32,
+                TID_GOSSIP,
+                ts,
+                gossip.saturating_sub(prev_g) * 1000 / interval,
+            );
+            scalecheck_obs::counter(
+                SpanName::StageUtilization,
+                i as u32,
+                TID_CALC,
+                ts,
+                calc.saturating_sub(prev_c) * 1000 / interval,
+            );
+        }
+        ctx.schedule_after(SimDuration::from_nanos(interval), sample_utilization);
+    }
+    if cfg.trace.enabled {
+        engine.schedule_at(
+            SimTime::ZERO + SimDuration::from_nanos(cfg.trace.sample_every_ns.max(1)),
+            sample_utilization,
+        );
+    }
+
     // Client availability probe (the user-visible impact of flapping).
     fn client_tick(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>) {
         let ops = st.cfg.client.ops_per_sec;
@@ -1307,11 +1436,20 @@ pub fn run_scenario_with_db(
     }
     engine.schedule_at(SimTime::from_millis(300), quiesce_check);
 
+    // The thread-local tracer collects spans for this run only; per-thread
+    // isolation keeps traces byte-identical at any sweep parallelism.
+    if state.trace_enabled {
+        scalecheck_obs::install(scalecheck_obs::Tracer::new());
+    } else {
+        scalecheck_obs::clear();
+    }
+
     let deadline = SimTime::ZERO + cfg.max_duration;
     engine.run_until(&mut state, deadline);
     let ended = engine.now();
 
-    let report = assemble_report(&state, ended, engine.counters());
+    let tracer = scalecheck_obs::take();
+    let report = assemble_report(&state, ended, engine.counters(), tracer);
     let order_out = state.order_rec.take();
     let calc = state.calc;
     (report, calc.into_db(), order_out)
@@ -1323,7 +1461,66 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> RunReport {
     run_scenario_with_db(cfg, None, None).0
 }
 
-fn assemble_report(st: &ClusterState, ended: SimTime, engine: EngineCounters) -> RunReport {
+/// Rebuilds the legacy replay-debugging event log from the obs trace so
+/// the repo keeps a single trace format: convictions, crashes, and fault
+/// injections come from instants; calculation completions come from the
+/// calc spans (their op-count argument round-trips the compute duration
+/// exactly, because durations are op-count multiples of `ns_per_op`).
+fn rebuild_tracelog(trace: &scalecheck_obs::Trace, cfg: &ScenarioConfig) -> crate::trace::TraceLog {
+    use crate::trace::TraceEvent;
+    let mut events: Vec<TraceEvent> = Vec::new();
+    for inst in &trace.instants {
+        let at = SimTime::ZERO + SimDuration::from_nanos(inst.ts);
+        match SpanName::from_u16(inst.name) {
+            Some(SpanName::FdConvicted) => events.push(TraceEvent::Convicted {
+                at,
+                observer: NodeId(inst.pid),
+                peer: NodeId(inst.arg as u32),
+            }),
+            Some(SpanName::NodeCrashed) => events.push(TraceEvent::NodeCrashed {
+                at,
+                node: NodeId(inst.pid),
+            }),
+            Some(SpanName::FaultInjected) => events.push(TraceEvent::FaultInjected {
+                at,
+                label: cfg
+                    .faults
+                    .events
+                    .get(inst.arg as usize)
+                    .map(|ev| ev.label())
+                    .unwrap_or_default(),
+            }),
+            _ => {}
+        }
+    }
+    for span in &trace.spans {
+        if matches!(
+            SpanName::from_u16(span.name),
+            Some(SpanName::CalcRecalculate | SpanName::CalcPilSleep)
+        ) {
+            events.push(TraceEvent::CalcFinished {
+                at: SimTime::ZERO + SimDuration::from_nanos(span.ts + span.dur),
+                node: NodeId(span.pid),
+                duration: SimDuration::from_nanos(span.arg * cfg.ns_per_op.max(1)),
+            });
+        }
+    }
+    // Emission order within each source list is deterministic, so a
+    // stable sort by timestamp yields the same log on every replay.
+    events.sort_by_key(|e| e.at());
+    let mut log = crate::trace::TraceLog::new(true);
+    for ev in events {
+        log.push(ev);
+    }
+    log
+}
+
+fn assemble_report(
+    st: &ClusterState,
+    ended: SimTime,
+    engine: EngineCounters,
+    tracer: Option<scalecheck_obs::Tracer>,
+) -> RunReport {
     let mut lateness = scalecheck_sim::Histogram::new();
     for n in &st.nodes {
         lateness.merge(n.gossip_stage.lateness());
@@ -1342,6 +1539,32 @@ fn assemble_report(st: &ClusterState, ended: SimTime, engine: EngineCounters) ->
         .unwrap_or(0);
     let mem_peak_bytes = st.machine_mem.iter().map(|m| m.peak()).max().unwrap_or(0);
     let oom_events = st.machine_mem.iter().map(|m| m.oom_events()).sum();
+
+    let mut obs = tracer.map(|t| t.finish()).unwrap_or_default();
+    obs.meta = scalecheck_obs::TraceMeta {
+        label: format!("n{}_seed{}", st.cfg.total_nodes(), st.cfg.seed),
+        seed: st.cfg.seed,
+        n_nodes: st.cfg.total_nodes() as u32,
+        end_ns: ended.as_nanos(),
+        engine_scheduled: engine.scheduled,
+        engine_fired: engine.fired,
+        engine_cancelled: engine.cancelled,
+        engine_pool_hits: engine.pool_hits,
+        engine_pool_misses: engine.pool_misses,
+    };
+    let trace = if st.cfg.trace_events {
+        rebuild_tracelog(&obs, &st.cfg)
+    } else {
+        crate::trace::TraceLog::new(false)
+    };
+    // The legacy log is the only consumer of the obs buffers when full
+    // tracing is off: don't ship span soup nobody asked for.
+    if !st.cfg.trace.enabled {
+        obs.spans = Vec::new();
+        obs.instants = Vec::new();
+        obs.counters = Vec::new();
+        obs.metrics = vec![scalecheck_obs::LogHistogram::default(); scalecheck_obs::METRIC_COUNT];
+    }
 
     RunReport {
         total_flaps: st.total_flaps(),
@@ -1369,7 +1592,8 @@ fn assemble_report(st: &ClusterState, ended: SimTime, engine: EngineCounters) ->
         engine,
         stale_timer_fires: st.stale_timer_fires,
         faults: assemble_fault_report(st, ended),
-        trace: st.trace.clone(),
+        trace,
+        obs,
     }
 }
 

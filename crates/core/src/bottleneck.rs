@@ -150,6 +150,7 @@ mod tests {
             stale_timer_fires: 0,
             faults: scalecheck_cluster::FaultReport::default(),
             trace: scalecheck_cluster::TraceLog::default(),
+            obs: Default::default(),
         }
     }
 

@@ -203,6 +203,10 @@ impl<A: Clone + PartialEq> Gossiper<A> {
                 deltas.push((peer, Delta::Full(st.clone())));
             }
         }
+        scalecheck_obs::metric(
+            scalecheck_obs::Metric::GossipDeltas,
+            (deltas.len() + requests.len()) as u64,
+        );
         Ack { deltas, requests }
     }
 
@@ -221,6 +225,7 @@ impl<A: Clone + PartialEq> Gossiper<A> {
                 }
             }
         }
+        scalecheck_obs::metric(scalecheck_obs::Metric::GossipDeltas, deltas.len() as u64);
         (outcome, Ack2 { deltas })
     }
 

@@ -1,0 +1,354 @@
+//! Chrome `trace_event` JSON export (Perfetto-loadable).
+//!
+//! Layout: one Chrome *process* per node (`pid` = node index, plus a
+//! synthetic engine process), one *thread* per stage (`tid` 0 =
+//! gossip, 1 = calc). Spans become balanced `B`/`E` pairs; zero-length
+//! spans export as instants so the `B`/`E` stream never interleaves
+//! improperly; counters become `C` events rendered as counter tracks.
+//!
+//! Timestamps are virtual microseconds with nanosecond fraction (the
+//! `trace_event` format's unit), rendered with a fixed three-digit
+//! fraction so output is byte-deterministic.
+//!
+//! The full native [`Trace`] — histograms included, which the
+//! `traceEvents` array cannot carry — rides along under the top-level
+//! `"scalecheck"` key. Chrome and Perfetto ignore unknown top-level
+//! keys; [`from_chrome_json`] round-trips through it, so one file
+//! serves both the viewer and the divergence analyzer.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::names::{SpanName, ENGINE_PID, TID_CALC, TID_GOSSIP};
+use crate::tracer::Trace;
+
+fn push_ts(out: &mut String, ns: u64) {
+    let _ = write!(out, "{}.{:03}", ns / 1000, ns % 1000);
+}
+
+fn thread_label(pid: u32, tid: u32) -> &'static str {
+    if pid == ENGINE_PID {
+        return "engine";
+    }
+    match tid {
+        TID_GOSSIP => "gossip",
+        TID_CALC => "calc",
+        _ => "aux",
+    }
+}
+
+fn counter_label(name: u16, tid: u32) -> &'static str {
+    match SpanName::from_u16(name) {
+        Some(SpanName::StageUtilization) if tid == TID_CALC => "util.calc",
+        Some(SpanName::StageUtilization) => "util.gossip",
+        Some(SpanName::EngineEvents) => "events_per_s",
+        _ => SpanName::str_of(name),
+    }
+}
+
+enum Ev<'a> {
+    End(&'a crate::SpanEvent),
+    Inst {
+        name: u16,
+        pid: u32,
+        tid: u32,
+        ts: u64,
+        arg: u64,
+    },
+    Count(&'a crate::CounterSample),
+    Begin(&'a crate::SpanEvent),
+}
+
+impl Ev<'_> {
+    fn key(&self) -> (u64, u8) {
+        match self {
+            // At equal timestamps a span's end sorts before the next
+            // span's begin, keeping each serial track balanced.
+            Ev::End(s) => (s.ts + s.dur, 0),
+            Ev::Inst { ts, .. } => (*ts, 1),
+            Ev::Count(c) => (c.ts, 2),
+            Ev::Begin(s) => (s.ts, 3),
+        }
+    }
+}
+
+/// Renders a trace as a Chrome `trace_event` JSON object string.
+pub fn to_chrome_json(trace: &Trace) -> String {
+    let mut evs: Vec<Ev<'_>> =
+        Vec::with_capacity(trace.spans.len() * 2 + trace.instants.len() + trace.counters.len());
+    for s in &trace.spans {
+        if s.dur == 0 {
+            evs.push(Ev::Inst {
+                name: s.name,
+                pid: s.pid,
+                tid: s.tid,
+                ts: s.ts,
+                arg: s.arg,
+            });
+        } else {
+            evs.push(Ev::Begin(s));
+            evs.push(Ev::End(s));
+        }
+    }
+    for i in &trace.instants {
+        evs.push(Ev::Inst {
+            name: i.name,
+            pid: i.pid,
+            tid: i.tid,
+            ts: i.ts,
+            arg: i.arg,
+        });
+    }
+    for c in &trace.counters {
+        evs.push(Ev::Count(c));
+    }
+    evs.sort_by_key(Ev::key);
+
+    // Metadata rows for every (pid, tid) seen, in sorted order.
+    let mut tracks: BTreeSet<(u32, u32)> = BTreeSet::new();
+    for e in &evs {
+        let (pid, tid) = match e {
+            Ev::Begin(s) | Ev::End(s) => (s.pid, s.tid),
+            Ev::Inst { pid, tid, .. } => (*pid, *tid),
+            Ev::Count(c) => (c.pid, c.tid),
+        };
+        tracks.insert((pid, tid));
+    }
+
+    let mut out = String::with_capacity(evs.len() * 96 + 4096);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+        out.push('\n');
+    };
+    let mut last_pid = None;
+    for &(pid, tid) in &tracks {
+        if last_pid != Some(pid) {
+            last_pid = Some(pid);
+            sep(&mut out);
+            let pname = if pid == ENGINE_PID {
+                "engine".to_string()
+            } else {
+                format!("node {pid}")
+            };
+            let _ = write!(
+                out,
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"{pname}\"}}}}"
+            );
+        }
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            thread_label(pid, tid)
+        );
+    }
+    for e in &evs {
+        sep(&mut out);
+        match e {
+            Ev::Begin(s) => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"ph\":\"B\",\"pid\":{},\"tid\":{},\"ts\":",
+                    SpanName::str_of(s.name),
+                    s.pid,
+                    s.tid
+                );
+                push_ts(&mut out, s.ts);
+                let _ = write!(out, ",\"args\":{{\"v\":{}}}}}", s.arg);
+            }
+            Ev::End(s) => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"ph\":\"E\",\"pid\":{},\"tid\":{},\"ts\":",
+                    SpanName::str_of(s.name),
+                    s.pid,
+                    s.tid
+                );
+                push_ts(&mut out, s.ts + s.dur);
+                out.push('}');
+            }
+            Ev::Inst {
+                name,
+                pid,
+                tid,
+                ts,
+                arg,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\"ts\":",
+                    SpanName::str_of(*name)
+                );
+                push_ts(&mut out, *ts);
+                let _ = write!(out, ",\"args\":{{\"v\":{arg}}}}}");
+            }
+            Ev::Count(c) => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"ph\":\"C\",\"pid\":{},\"tid\":{},\"ts\":",
+                    counter_label(c.name, c.tid),
+                    c.pid,
+                    c.tid
+                );
+                push_ts(&mut out, c.ts);
+                let _ = write!(out, ",\"args\":{{\"v\":{}}}}}", c.value);
+            }
+        }
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\",\"scalecheck\":");
+    out.push_str(&serde_json::to_string(trace).expect("trace serializes"));
+    out.push('}');
+    out
+}
+
+/// Parses a Chrome trace file produced by [`to_chrome_json`] back into
+/// the native [`Trace`] via its embedded `"scalecheck"` key.
+pub fn from_chrome_json(json: &str) -> Result<Trace, String> {
+    let v: serde_json::Value =
+        serde_json::from_str(json).map_err(|e| format!("not valid JSON: {e:?}"))?;
+    let obj = v.as_object().ok_or("top level is not an object")?;
+    let native = obj
+        .iter()
+        .find(|(k, _)| k == "scalecheck")
+        .map(|(_, v)| v.clone())
+        .ok_or("missing \"scalecheck\" key (not a scalecheck trace?)")?;
+    serde_json::from_value(native).map_err(|e| format!("bad native trace: {e:?}"))
+}
+
+/// Validates the `traceEvents` stream: parses as JSON and checks that
+/// on every `(pid, tid)` track the `B`/`E` events are balanced with
+/// matching names. Returns the number of events checked.
+pub fn validate_chrome(json: &str) -> Result<usize, String> {
+    let v: serde_json::Value =
+        serde_json::from_str(json).map_err(|e| format!("not valid JSON: {e:?}"))?;
+    let obj = v.as_object().ok_or("top level is not an object")?;
+    let events = obj
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .and_then(|(_, v)| v.as_array())
+        .ok_or("missing traceEvents array")?;
+    let mut stacks: std::collections::BTreeMap<(u64, u64), Vec<String>> =
+        std::collections::BTreeMap::new();
+    let field = |e: &serde_json::Value, k: &str| -> Option<serde_json::Value> {
+        e.as_object()?
+            .iter()
+            .find(|(key, _)| key == k)
+            .map(|(_, v)| v.clone())
+    };
+    for (i, e) in events.iter().enumerate() {
+        let ph = field(e, "ph")
+            .and_then(|v| v.as_str().map(str::to_string))
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        let name = field(e, "name")
+            .and_then(|v| v.as_str().map(str::to_string))
+            .ok_or_else(|| format!("event {i}: missing name"))?;
+        let pid = field(e, "pid").and_then(|v| v.as_f64()).unwrap_or(-1.0) as u64;
+        let tid = field(e, "tid").and_then(|v| v.as_f64()).unwrap_or(-1.0) as u64;
+        match ph.as_str() {
+            "B" => stacks.entry((pid, tid)).or_default().push(name),
+            "E" => {
+                let open = stacks
+                    .entry((pid, tid))
+                    .or_default()
+                    .pop()
+                    .ok_or_else(|| format!("event {i}: E \"{name}\" with no open B"))?;
+                if open != name {
+                    return Err(format!(
+                        "event {i}: E \"{name}\" closes B \"{open}\" on track ({pid},{tid})"
+                    ));
+                }
+            }
+            "M" | "i" | "C" | "X" => {}
+            other => return Err(format!("event {i}: unexpected phase {other:?}")),
+        }
+    }
+    for ((pid, tid), stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!("unclosed B \"{open}\" on track ({pid},{tid})"));
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Metric, Tracer};
+
+    fn sample_trace() -> Trace {
+        let mut t = Tracer::new();
+        t.span_complete(SpanName::GossipSendRound, 0, TID_GOSSIP, 1000, 500, 3);
+        t.span_complete(SpanName::GossipReceive, 0, TID_GOSSIP, 1500, 250, 1);
+        t.span_complete(SpanName::CalcRecalculate, 1, TID_CALC, 1200, 900, 640);
+        // Zero-duration span exports as an instant, not B/E.
+        t.span_complete(SpanName::LockWait, 1, TID_CALC, 1200, 0, 0);
+        let id = t.span_start(SpanName::EngineRun, ENGINE_PID, 0, 0);
+        t.span_end(id, 10_000, 4);
+        t.instant(SpanName::FdConvicted, 0, TID_GOSSIP, 1700, 1);
+        t.counter(SpanName::StageUtilization, 1, TID_CALC, 5000, 800);
+        t.metric(Metric::LockWait, 77);
+        let mut tr = t.finish();
+        tr.meta.label = "chrome-unit".into();
+        tr.meta.seed = 3;
+        tr.meta.n_nodes = 2;
+        tr
+    }
+
+    #[test]
+    fn export_validates_and_balances() {
+        let tr = sample_trace();
+        let json = to_chrome_json(&tr);
+        let n = validate_chrome(&json).expect("well-formed");
+        assert!(n > 8, "got {n} events");
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("gossip.send_round"));
+        assert!(json.contains("\"displayTimeUnit\":\"ms\""));
+    }
+
+    #[test]
+    fn ends_sort_before_begins_at_equal_ts() {
+        // receive starts exactly when send_round ends on the same track.
+        let mut t = Tracer::new();
+        t.span_complete(SpanName::GossipReceive, 0, 0, 500, 100, 0);
+        t.span_complete(SpanName::GossipSendRound, 0, 0, 0, 500, 0);
+        let json = to_chrome_json(&t.finish());
+        validate_chrome(&json).expect("adjacent spans stay balanced");
+    }
+
+    #[test]
+    fn native_trace_round_trips_through_chrome_file() {
+        let tr = sample_trace();
+        let json = to_chrome_json(&tr);
+        let back = from_chrome_json(&json).expect("parses");
+        assert_eq!(back, tr);
+        // Byte-determinism of the whole artifact.
+        assert_eq!(to_chrome_json(&back), json);
+    }
+
+    #[test]
+    fn from_chrome_json_rejects_foreign_files() {
+        assert!(from_chrome_json("{\"traceEvents\":[]}").is_err());
+        assert!(from_chrome_json("not json").is_err());
+    }
+
+    #[test]
+    fn validator_rejects_unbalanced_streams() {
+        let bad = "{\"traceEvents\":[\
+            {\"name\":\"a\",\"ph\":\"B\",\"pid\":0,\"tid\":0,\"ts\":1}\
+        ]}";
+        assert!(validate_chrome(bad).unwrap_err().contains("unclosed"));
+        let crossed = "{\"traceEvents\":[\
+            {\"name\":\"a\",\"ph\":\"B\",\"pid\":0,\"tid\":0,\"ts\":1},\
+            {\"name\":\"b\",\"ph\":\"E\",\"pid\":0,\"tid\":0,\"ts\":2}\
+        ]}";
+        assert!(validate_chrome(crossed).unwrap_err().contains("closes"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Fixed-bucket log-scale histogram.
+//!
+//! 64 power-of-two buckets cover the full `u64` range: bucket 0 holds
+//! exactly the value 0 and bucket `i` holds values in
+//! `[2^(i-1), 2^i - 1]`. Recording is a `leading_zeros` and an
+//! increment — no allocation, deterministic, and cheap enough for the
+//! event hot path.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of buckets (one per possible bit length, plus zero).
+pub const BUCKETS: usize = 64;
+
+/// A log2-bucketed histogram of `u64` samples.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// Per-bucket sample counts (length [`BUCKETS`]).
+    pub buckets: Vec<u64>,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples (saturating).
+    pub sum: u64,
+    /// Largest sample seen.
+    pub max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+        .min(BUCKETS - 1)
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Approximate percentile: the inclusive upper bound of the bucket
+    /// containing the `p`-th percentile sample (`p` in 0..=100).
+    pub fn percentile(&self, p: u8) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (self.count.saturating_mul(p as u64)).div_ceil(100).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i == 0 {
+                    0
+                } else {
+                    (1u64 << i).wrapping_sub(1).max(1)
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_range() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 1);
+        assert_eq!(LogHistogram::bucket_of(2), 2);
+        assert_eq!(LogHistogram::bucket_of(3), 2);
+        assert_eq!(LogHistogram::bucket_of(4), 3);
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn record_tracks_count_sum_max() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 1, 5, 5, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 1011);
+        assert_eq!(h.max, 1000);
+        assert_eq!(h.mean(), 202);
+    }
+
+    #[test]
+    fn percentile_walks_buckets() {
+        let mut h = LogHistogram::new();
+        for _ in 0..99 {
+            h.record(10);
+        }
+        h.record(1_000_000);
+        // p50 lands in the bucket holding 10 (values 8..=15).
+        assert_eq!(h.percentile(50), 15);
+        // p100 lands in the big bucket.
+        assert!(h.percentile(100) >= 1_000_000);
+        assert_eq!(LogHistogram::new().percentile(99), 0);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record(4);
+        b.record(9);
+        b.record(0);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.sum, 13);
+        assert_eq!(a.max, 9);
+    }
+}

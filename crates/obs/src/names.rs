@@ -1,0 +1,176 @@
+//! Interned span and metric names.
+//!
+//! Span names are a closed enum with explicit discriminants rather than
+//! `&'static str` pointers: traces serialize the `u16`, so the on-disk
+//! bytes are independent of link order and identical across builds —
+//! part of the byte-identical-trace contract.
+
+/// Track id for the gossip stage of a node (Chrome `tid`).
+pub const TID_GOSSIP: u32 = 0;
+/// Track id for the calc stage of a node (Chrome `tid`).
+pub const TID_CALC: u32 = 1;
+/// Synthetic process id for engine-level spans (real nodes use their
+/// node index, which is always far below this).
+pub const ENGINE_PID: u32 = 1_000_000;
+
+/// Every span, instant, and counter name the workspace emits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum SpanName {
+    /// One `Engine::run_until` call (engine track).
+    EngineRun = 0,
+    /// A gossip-stage send-round task: pick peers, serialize syns.
+    GossipSendRound = 1,
+    /// A gossip-stage receive task: handle one syn/ack/ack2.
+    GossipReceive = 2,
+    /// A calc-stage pending-range recalculation (executed compute).
+    CalcRecalculate = 3,
+    /// A calc-stage PIL sleep standing in for a memoized compute.
+    CalcPilSleep = 4,
+    /// Time a task spent parked waiting for the ring lock.
+    LockWait = 5,
+    /// A pending-range calculator invocation (ring layer).
+    RingPendingCalc = 6,
+    /// Instant: a failure detector convicted a peer (arg = peer id).
+    FdConvicted = 7,
+    /// Instant: a node crashed (OOM or injected).
+    NodeCrashed = 8,
+    /// Instant: a fault-plan event fired (arg = event index).
+    FaultInjected = 9,
+    /// Instant: a node announced a status change (arg = status code).
+    StatusAnnounced = 10,
+    /// Counter: per-stage utilization over the last sample window, in
+    /// permille of virtual time.
+    StageUtilization = 11,
+    /// Counter: engine events fired in the last virtual second.
+    EngineEvents = 12,
+}
+
+impl SpanName {
+    /// The dotted display name used in exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanName::EngineRun => "engine.run",
+            SpanName::GossipSendRound => "gossip.send_round",
+            SpanName::GossipReceive => "gossip.receive",
+            SpanName::CalcRecalculate => "calc.recalculate",
+            SpanName::CalcPilSleep => "calc.pil_sleep",
+            SpanName::LockWait => "lock.wait",
+            SpanName::RingPendingCalc => "ring.pending_calc",
+            SpanName::FdConvicted => "fd.convicted",
+            SpanName::NodeCrashed => "node.crashed",
+            SpanName::FaultInjected => "fault.injected",
+            SpanName::StatusAnnounced => "status.announced",
+            SpanName::StageUtilization => "stage.utilization",
+            SpanName::EngineEvents => "engine.events",
+        }
+    }
+
+    /// Reverses the stored discriminant; `None` for unknown codes (a
+    /// trace written by a newer build).
+    pub fn from_u16(code: u16) -> Option<SpanName> {
+        Some(match code {
+            0 => SpanName::EngineRun,
+            1 => SpanName::GossipSendRound,
+            2 => SpanName::GossipReceive,
+            3 => SpanName::CalcRecalculate,
+            4 => SpanName::CalcPilSleep,
+            5 => SpanName::LockWait,
+            6 => SpanName::RingPendingCalc,
+            7 => SpanName::FdConvicted,
+            8 => SpanName::NodeCrashed,
+            9 => SpanName::FaultInjected,
+            10 => SpanName::StatusAnnounced,
+            11 => SpanName::StageUtilization,
+            12 => SpanName::EngineEvents,
+            _ => return None,
+        })
+    }
+
+    /// Display name for a raw code, tolerating unknown codes.
+    pub fn str_of(code: u16) -> &'static str {
+        SpanName::from_u16(code).map_or("unknown", SpanName::as_str)
+    }
+}
+
+/// Histogram-backed scalar distributions, one fixed slot per variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u16)]
+pub enum Metric {
+    /// Queueing delay between enqueue and begin on a stage (ns).
+    StageLateness = 0,
+    /// Stage queue depth observed at each push.
+    QueueDepth = 1,
+    /// Virtual lock wait time (ns).
+    LockWait = 2,
+    /// Virtual lock hold time (ns).
+    LockHold = 3,
+    /// CPU run-queue delay before a compute block starts (ns).
+    CpuQueueDelay = 4,
+    /// End-to-end calc task duration (ns).
+    CalcDuration = 5,
+    /// Abstract ops per pending-range calculation.
+    CalcOps = 6,
+    /// Deltas shipped per gossip syn/ack exchange.
+    GossipDeltas = 7,
+    /// Network delivery delay offered per message (ns).
+    NetDelay = 8,
+}
+
+/// Number of [`Metric`] variants; traces always carry all of them.
+pub const METRIC_COUNT: usize = 9;
+
+impl Metric {
+    /// All metrics in discriminant order.
+    pub const ALL: [Metric; METRIC_COUNT] = [
+        Metric::StageLateness,
+        Metric::QueueDepth,
+        Metric::LockWait,
+        Metric::LockHold,
+        Metric::CpuQueueDelay,
+        Metric::CalcDuration,
+        Metric::CalcOps,
+        Metric::GossipDeltas,
+        Metric::NetDelay,
+    ];
+
+    /// Short display name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Metric::StageLateness => "stage_lateness_ns",
+            Metric::QueueDepth => "queue_depth",
+            Metric::LockWait => "lock_wait_ns",
+            Metric::LockHold => "lock_hold_ns",
+            Metric::CpuQueueDelay => "cpu_queue_delay_ns",
+            Metric::CalcDuration => "calc_duration_ns",
+            Metric::CalcOps => "calc_ops",
+            Metric::GossipDeltas => "gossip_deltas",
+            Metric::NetDelay => "net_delay_ns",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_name_codes_round_trip() {
+        for code in 0u16..32 {
+            if let Some(name) = SpanName::from_u16(code) {
+                assert_eq!(name as u16, code);
+                assert!(!name.as_str().is_empty());
+            }
+        }
+        assert_eq!(SpanName::from_u16(999), None);
+        assert_eq!(SpanName::str_of(999), "unknown");
+    }
+
+    #[test]
+    fn metric_all_matches_discriminants() {
+        assert_eq!(Metric::ALL.len(), METRIC_COUNT);
+        for (i, m) in Metric::ALL.iter().enumerate() {
+            assert_eq!(*m as usize, i);
+        }
+    }
+}

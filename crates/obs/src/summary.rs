@@ -1,0 +1,145 @@
+//! Self-contained text summary ("flame report") of one trace.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::names::{Metric, SpanName};
+use crate::tracer::Trace;
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!(
+            "{}.{:03}s",
+            ns / 1_000_000_000,
+            (ns % 1_000_000_000) / 1_000_000
+        )
+    } else if ns >= 1_000_000 {
+        format!("{}.{:03}ms", ns / 1_000_000, (ns % 1_000_000) / 1_000)
+    } else if ns >= 1_000 {
+        format!("{}us", ns / 1_000)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders a per-span-name and per-metric summary as plain text.
+pub fn summarize(trace: &Trace) -> String {
+    let mut out = String::new();
+    let m = &trace.meta;
+    let _ = writeln!(
+        out,
+        "trace {:?}: seed {}, {} nodes, ended at {}",
+        m.label,
+        m.seed,
+        m.n_nodes,
+        fmt_ns(m.end_ns)
+    );
+    let _ = writeln!(
+        out,
+        "engine: scheduled {} fired {} cancelled {} pool {}/{} ({}% hit)",
+        m.engine_scheduled,
+        m.engine_fired,
+        m.engine_cancelled,
+        m.engine_pool_hits,
+        m.engine_pool_hits + m.engine_pool_misses,
+        (m.engine_pool_hits * 100)
+            .checked_div(m.engine_pool_hits + m.engine_pool_misses)
+            .unwrap_or(0)
+    );
+
+    // name -> (count, total, max)
+    let mut by_name: BTreeMap<u16, (u64, u64, u64)> = BTreeMap::new();
+    for s in &trace.spans {
+        let e = by_name.entry(s.name).or_insert((0, 0, 0));
+        e.0 += 1;
+        e.1 = e.1.saturating_add(s.dur);
+        e.2 = e.2.max(s.dur);
+    }
+    let _ = writeln!(out, "\nspans (count / total / mean / max):");
+    let mut rows: Vec<_> = by_name.into_iter().collect();
+    rows.sort_by(|a, b| b.1 .1.cmp(&a.1 .1).then(a.0.cmp(&b.0)));
+    for (name, (count, total, max)) in rows {
+        let _ = writeln!(
+            out,
+            "  {:<20} {:>8}  {:>12}  {:>10}  {:>10}",
+            SpanName::str_of(name),
+            count,
+            fmt_ns(total),
+            fmt_ns(total / count.max(1)),
+            fmt_ns(max)
+        );
+    }
+
+    let _ = writeln!(out, "\nmetrics (count / mean / p99 / max):");
+    for m in Metric::ALL {
+        let h = trace.metric(m);
+        if h.count == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  {:<20} {:>8}  {:>10}  {:>10}  {:>10}",
+            m.as_str(),
+            h.count,
+            h.mean(),
+            h.percentile(99),
+            h.max
+        );
+    }
+
+    let instants = trace.instants.len();
+    let convictions = trace
+        .instants
+        .iter()
+        .filter(|i| i.name == SpanName::FdConvicted as u16)
+        .count();
+    let _ = writeln!(
+        out,
+        "\ninstants: {instants} total, {convictions} convictions; {} counter samples",
+        trace.counters.len()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names::{TID_CALC, TID_GOSSIP};
+    use crate::Tracer;
+
+    #[test]
+    fn summary_mentions_the_heavy_hitters() {
+        let mut t = Tracer::new();
+        t.span_complete(
+            SpanName::CalcRecalculate,
+            0,
+            TID_CALC,
+            0,
+            9_000_000_000,
+            100,
+        );
+        t.span_complete(SpanName::GossipReceive, 0, TID_GOSSIP, 0, 1_000, 1);
+        t.instant(SpanName::FdConvicted, 0, TID_GOSSIP, 5, 1);
+        t.metric(Metric::LockWait, 123);
+        let mut tr = t.finish();
+        tr.meta.label = "sum".into();
+        tr.meta.end_ns = 10_000_000_000;
+        let s = summarize(&tr);
+        assert!(s.contains("calc.recalculate"));
+        assert!(s.contains("gossip.receive"));
+        assert!(s.contains("lock_wait_ns"));
+        assert!(s.contains("1 convictions"));
+        // calc (9s) sorts above gossip (1us).
+        let calc_at = s.find("calc.recalculate").unwrap();
+        let gossip_at = s.find("gossip.receive").unwrap();
+        assert!(calc_at < gossip_at);
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(5), "5ns");
+        assert_eq!(fmt_ns(5_000), "5us");
+        assert_eq!(fmt_ns(5_250_000), "5.250ms");
+        assert_eq!(fmt_ns(5_250_000_000), "5.250s");
+    }
+}

@@ -94,6 +94,24 @@ pub trait PendingRangeCalculator {
         changes: &[TopologyChange],
         counter: &mut OpCounter,
     ) -> PendingRanges;
+
+    /// Like [`PendingRangeCalculator::calculate`], but reports the ops
+    /// this invocation consumed to the tracing layer (the per-calc op
+    /// count behind `calc.recalculate` span args).
+    fn calculate_traced(
+        &self,
+        ring: &RingTable,
+        changes: &[TopologyChange],
+        counter: &mut OpCounter,
+    ) -> PendingRanges {
+        let before = counter.ops();
+        let out = self.calculate(ring, changes, counter);
+        scalecheck_obs::metric(
+            scalecheck_obs::Metric::CalcOps,
+            counter.ops().saturating_sub(before),
+        );
+        out
+    }
 }
 
 // ---------------------------------------------------------------------

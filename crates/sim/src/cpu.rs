@@ -144,6 +144,10 @@ impl Machine {
         self.dispatches += 1;
         let queue_delay = start.since(now);
         self.queue_delay.record(queue_delay);
+        scalecheck_obs::metric(
+            scalecheck_obs::Metric::CpuQueueDelay,
+            queue_delay.as_nanos(),
+        );
         CpuGrant {
             start,
             finish,

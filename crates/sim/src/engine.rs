@@ -503,6 +503,24 @@ impl<S> Engine<S> {
     pub fn run_until(&mut self, state: &mut S, deadline: SimTime) -> RunStats {
         let mut executed = 0u64;
         self.stop = false;
+        // Tracing state is resolved once per run: the disabled path
+        // costs one branch on a local bool per event, no allocation.
+        let tracing = scalecheck_obs::enabled();
+        let run_span = if tracing {
+            scalecheck_obs::with(|t| {
+                t.span_start(
+                    scalecheck_obs::SpanName::EngineRun,
+                    scalecheck_obs::ENGINE_PID,
+                    0,
+                    self.core.now.as_nanos(),
+                )
+            })
+        } else {
+            None
+        };
+        // Event-rate counter: one sample per virtual second with fires.
+        let mut rate_sec = self.core.now.as_nanos() / 1_000_000_000;
+        let mut rate_count = 0u64;
         let outcome = loop {
             let (at, payload) = match self.core.pop_next(deadline) {
                 Pop::Drained => break RunOutcome::QueueDrained,
@@ -510,6 +528,23 @@ impl<S> Engine<S> {
                 Pop::Fired(at, payload) => (at, payload),
             };
             debug_assert!(at >= self.core.now, "event queue went backwards");
+            if tracing {
+                let sec = at.as_nanos() / 1_000_000_000;
+                if sec != rate_sec {
+                    if rate_count > 0 {
+                        scalecheck_obs::counter(
+                            scalecheck_obs::SpanName::EngineEvents,
+                            scalecheck_obs::ENGINE_PID,
+                            0,
+                            rate_sec * 1_000_000_000,
+                            rate_count,
+                        );
+                    }
+                    rate_sec = sec;
+                    rate_count = 0;
+                }
+                rate_count += 1;
+            }
             self.core.now = at;
             self.core.live -= 1;
             self.core.counters.fired += 1;
@@ -544,6 +579,21 @@ impl<S> Engine<S> {
         };
         if outcome == RunOutcome::DeadlineReached {
             self.core.now = deadline;
+        }
+        if tracing {
+            if rate_count > 0 {
+                scalecheck_obs::counter(
+                    scalecheck_obs::SpanName::EngineEvents,
+                    scalecheck_obs::ENGINE_PID,
+                    0,
+                    rate_sec * 1_000_000_000,
+                    rate_count,
+                );
+            }
+            if let Some(id) = run_span {
+                let end = self.core.now.as_nanos();
+                scalecheck_obs::with(|t| t.span_end(id, end, executed));
+            }
         }
         self.executed_total += executed;
         RunStats {
@@ -825,6 +875,40 @@ mod tests {
             rounds - 1,
             "every steady-state schedule reuses it"
         );
+    }
+
+    #[test]
+    fn run_until_emits_an_engine_span_when_traced() {
+        scalecheck_obs::install(scalecheck_obs::Tracer::new());
+        let mut eng: Engine<u64> = Engine::new(1);
+        for i in 0..5u64 {
+            eng.schedule_at(SimTime::from_secs(i), |c, _| *c += 1);
+        }
+        let mut count = 0u64;
+        eng.run_to_completion(&mut count);
+        let trace = scalecheck_obs::take().expect("tracer installed").finish();
+        assert_eq!(count, 5);
+        let span = trace
+            .spans
+            .iter()
+            .find(|s| s.name == scalecheck_obs::SpanName::EngineRun as u16)
+            .expect("engine.run span");
+        assert_eq!(span.arg, 5, "span arg carries the executed count");
+        assert_eq!(span.dur, 4_000_000_000);
+        // Event-rate counter sampled per virtual second with fires.
+        assert!(!trace.counters.is_empty());
+        let fired: u64 = trace.counters.iter().map(|c| c.value).sum();
+        assert_eq!(fired, 5);
+    }
+
+    #[test]
+    fn untraced_runs_emit_nothing() {
+        scalecheck_obs::clear();
+        let mut eng: Engine<u64> = Engine::new(1);
+        eng.schedule_at(SimTime::from_secs(1), |c, _| *c += 1);
+        let mut count = 0u64;
+        eng.run_to_completion(&mut count);
+        assert!(scalecheck_obs::take().is_none());
     }
 
     #[test]

@@ -81,6 +81,7 @@ impl LockTable {
             st.acquired_at = now;
             st.acquisitions += 1;
             st.wait.record(crate::time::SimDuration::ZERO);
+            scalecheck_obs::metric(scalecheck_obs::Metric::LockWait, 0);
             Acquire::Granted
         } else {
             st.waiters.push_back((holder, now));
@@ -109,12 +110,20 @@ impl LockTable {
             "release of lock {lock:?} by non-holder {holder}"
         );
         st.hold.record(now.since(st.acquired_at));
+        scalecheck_obs::metric(
+            scalecheck_obs::Metric::LockHold,
+            now.since(st.acquired_at).as_nanos(),
+        );
         match st.waiters.pop_front() {
             Some((next, queued_at)) => {
                 st.holder = Some(next);
                 st.acquired_at = now;
                 st.acquisitions += 1;
                 st.wait.record(now.since(queued_at));
+                scalecheck_obs::metric(
+                    scalecheck_obs::Metric::LockWait,
+                    now.since(queued_at).as_nanos(),
+                );
                 Some(next)
             }
             None => {

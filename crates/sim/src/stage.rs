@@ -21,6 +21,8 @@ pub struct Stage<T> {
     processed: u64,
     lateness: Histogram,
     max_depth: usize,
+    busy_since: Option<SimTime>,
+    busy_ns: u64,
 }
 
 impl<T> Default for Stage<T> {
@@ -39,6 +41,8 @@ impl<T> Stage<T> {
             processed: 0,
             lateness: Histogram::new(),
             max_depth: 0,
+            busy_since: None,
+            busy_ns: 0,
         }
     }
 
@@ -47,6 +51,7 @@ impl<T> Stage<T> {
         self.queue.push_back((now, item));
         self.enqueued += 1;
         self.max_depth = self.max_depth.max(self.queue.len());
+        scalecheck_obs::metric(scalecheck_obs::Metric::QueueDepth, self.queue.len() as u64);
     }
 
     /// Pushes an item to the *front* of the queue (priority admission,
@@ -65,8 +70,13 @@ impl<T> Stage<T> {
         }
         let (enq_at, item) = self.queue.pop_front()?;
         self.busy = true;
+        self.busy_since = Some(now);
         self.processed += 1;
         self.lateness.record(now.since(enq_at));
+        scalecheck_obs::metric(
+            scalecheck_obs::Metric::StageLateness,
+            now.since(enq_at).as_nanos(),
+        );
         Some(item)
     }
 
@@ -78,6 +88,32 @@ impl<T> Stage<T> {
     pub fn finish(&mut self) {
         assert!(self.busy, "finish() on an idle stage");
         self.busy = false;
+        self.busy_since = None;
+    }
+
+    /// Like [`Stage::finish`], but also credits the busy interval that
+    /// started at the matching `try_begin` to the stage's busy-time
+    /// total (the utilization-timeline source).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stage was not busy.
+    pub fn finish_at(&mut self, now: SimTime) {
+        assert!(self.busy, "finish_at() on an idle stage");
+        self.busy = false;
+        if let Some(since) = self.busy_since.take() {
+            self.busy_ns = self.busy_ns.saturating_add(now.since(since).as_nanos());
+        }
+    }
+
+    /// Cumulative busy time through `now`, including the currently
+    /// running item (if any). Monotone in `now`; the utilization
+    /// sampler differences successive readings.
+    pub fn busy_nanos_until(&self, now: SimTime) -> u64 {
+        let open = self
+            .busy_since
+            .map_or(0, |since| now.since(since).as_nanos());
+        self.busy_ns.saturating_add(open)
     }
 
     /// Removes and returns the first queued item matching `pred`
@@ -209,6 +245,26 @@ mod tests {
     fn finish_when_idle_panics() {
         let mut st: Stage<u32> = Stage::new();
         st.finish();
+    }
+
+    #[test]
+    fn busy_time_accumulates_through_finish_at() {
+        let mut st = Stage::new();
+        st.push(SimTime::ZERO, 1u32);
+        st.push(SimTime::ZERO, 2u32);
+        st.try_begin(at_ms(0));
+        // Mid-item reading includes the open interval.
+        assert_eq!(st.busy_nanos_until(at_ms(3)), 3_000_000);
+        st.finish_at(at_ms(5));
+        assert_eq!(st.busy_nanos_until(at_ms(10)), 5_000_000);
+        st.try_begin(at_ms(10));
+        st.finish_at(at_ms(12));
+        assert_eq!(st.busy_nanos_until(at_ms(20)), 7_000_000);
+        // Plain finish() leaves the busy total untouched.
+        st.push(SimTime::ZERO, 3u32);
+        st.try_begin(at_ms(30));
+        st.finish();
+        assert_eq!(st.busy_nanos_until(at_ms(40)), 7_000_000);
     }
 
     #[test]

@@ -38,11 +38,37 @@ cargo test -q --test proptests
 echo "=== sweep cache keyed on fault plans ==="
 cargo test -q -p scalecheck-bench --test sweep_integration
 
+# Observability: the tracer/metrics/export unit suites, then the
+# end-to-end contracts (trace determinism across --jobs, Chrome-export
+# well-formedness) by name so a failure is attributable at a glance.
+echo "=== obs unit suites (tracer, histograms, exporters, analyzer) ==="
+cargo test -q -p scalecheck-obs
+
+echo "=== obs integration (determinism across jobs, chrome export) ==="
+cargo test -q -p scalecheck-bench --test obs_integration
+
+# The §6 divergence narrative needs three 128-node traced runs; far
+# too slow under the dev profile, so the test is #[ignore]d there and
+# run here against the release build.
+echo "=== §6 divergence narrative (c3831@128, release) ==="
+cargo test --release -q -p scalecheck-bench --test obs_integration -- --ignored
+
+# Trace-pipeline smoke: a real run exports a Chrome trace and the
+# analyzer loads a pair of them end to end through the CLI surface.
+echo "=== diag_run trace export + analyzer smoke ==="
+target/release/diag_run --bug c3831 --nodes 12 --mode real --no-cache \
+  --trace-out target/ci_trace_real.json
+target/release/diag_run --bug c3831 --nodes 12 --mode colo --no-cache \
+  --trace-out target/ci_trace_colo.json
+target/release/diag_run --diverge target/ci_trace_real.json target/ci_trace_colo.json
+
 # Perf smoke: the engine microbenchmark must run, emit well-formed
-# bench_engine/v1 JSON with nonzero throughput on every scenario, and
-# the wheel/heap differential property suites must hold. The smoke
-# sizes keep this under a minute; trajectory numbers come from the
-# full run in scripts/run_experiments.sh (see EXPERIMENTS.md).
+# bench_engine/v2 JSON with nonzero throughput on every scenario,
+# keep disabled-tracing overhead under its budget (<2%, 0 allocs per
+# emission), and the wheel/heap differential property suites must
+# hold. The smoke sizes keep this under a minute; trajectory numbers
+# come from the full run in scripts/run_experiments.sh (see
+# EXPERIMENTS.md).
 echo "=== engine perf smoke (bench_engine --smoke) ==="
 target/release/bench_engine --smoke --out target/BENCH_engine_smoke.json
 target/release/bench_engine --verify target/BENCH_engine_smoke.json

@@ -1,15 +1,19 @@
 #!/usr/bin/env bash
 # Regenerates every paper artifact into results/.
-# Usage: scripts/run_experiments.sh [--quick] [--jobs N] [--no-cache] [--faults LIST]
+# Usage: scripts/run_experiments.sh [--quick] [--jobs N] [--no-cache] [--faults LIST] [--diverge]
 # --quick       caps Figure 3 sweeps at N=96 for a fast smoke pass.
 # --jobs N      worker threads per experiment sweep (default: all cores).
 # --no-cache    ignore and bypass the on-disk result cache (results/cache/).
 # --faults LIST comma-separated storm intensities passed through to
 #               tbl_faults (default 0,0.3,0.7).
+# --diverge     also regenerate TBL_diverge.txt (the §6 divergence
+#               attribution at C3831/N=128: three traced runs + two
+#               analyzer passes — several extra minutes).
 set -u
 cd "$(dirname "$0")/.."
 SCALES="32,64,128,256"
 FAULT_INTENSITIES="0,0.3,0.7"
+DIVERGE=0
 SWEEP_FLAGS=()
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -21,7 +25,8 @@ while [ $# -gt 0 ]; do
     --faults)
       [ $# -ge 2 ] || { echo "--faults needs a value" >&2; exit 2; }
       FAULT_INTENSITIES="$2"; shift ;;
-    *) echo "unknown flag: $1" >&2; echo "usage: $0 [--quick] [--jobs N] [--no-cache] [--faults LIST]" >&2; exit 2 ;;
+    --diverge) DIVERGE=1 ;;
+    *) echo "unknown flag: $1" >&2; echo "usage: $0 [--quick] [--jobs N] [--no-cache] [--faults LIST] [--diverge]" >&2; exit 2 ;;
   esac
   shift
 done
@@ -54,4 +59,10 @@ run tbl_faults "$BIN/tbl_faults" --bug c3831 --intensities "$FAULT_INTENSITIES"
 # Engine microbenchmark trajectory: writes BENCH_engine.json at the
 # repo root (tracked) in addition to the results/ transcript.
 run bench_engine "$BIN/bench_engine" --out BENCH_engine.json
+# §6 divergence attribution: three traced 128-node runs plus the
+# analyzer; writes TBL_diverge.txt at the repo root (tracked). Traced
+# runs defeat the result cache, so this is opt-in.
+if [ "$DIVERGE" = 1 ]; then
+  run tbl_diverge "$BIN/tbl_diverge" --nodes 128 --out TBL_diverge.txt
+fi
 echo "all experiments done"
