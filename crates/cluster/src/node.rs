@@ -219,7 +219,6 @@ impl Node {
         };
         let node = crate::ringinfo::node_of(peer);
         let status = state.app.status;
-        let tokens = state.app.tokens.clone();
         match status {
             NodeStatus::Left => {
                 let was_present = self.ring.node(node).is_some();
@@ -240,6 +239,13 @@ impl Node {
                     }
                 }
                 None => {
+                    // Tokens are cloned only on this (rare) first-sight
+                    // path; status-only updates above never touch them.
+                    let tokens = self
+                        .gossiper
+                        .endpoint(peer)
+                        .map(|st| st.app.tokens.clone())
+                        .unwrap_or_default();
                     // Ignore token collisions from replayed stale state:
                     // first writer wins, matching Cassandra's ownership
                     // arbitration.
@@ -277,12 +283,30 @@ impl Node {
 
     /// Peers this node would gossip to: known, not Left in our view.
     pub fn gossip_candidates(&self) -> Vec<NodeId> {
+        self.iter_gossip_candidates().collect()
+    }
+
+    /// How many gossip candidates there are. Paired with
+    /// [`Self::nth_gossip_candidate`], the per-round random target pick
+    /// needs no scratch `Vec` — the count-then-index walk visits
+    /// candidates in the same order the collected list had, so the
+    /// selected peer (and the RNG draw feeding it) is unchanged.
+    pub fn gossip_candidate_count(&self) -> usize {
+        self.iter_gossip_candidates().count()
+    }
+
+    /// The `idx`-th gossip candidate in view order.
+    pub fn nth_gossip_candidate(&self, idx: usize) -> Option<NodeId> {
+        self.iter_gossip_candidates().nth(idx)
+    }
+
+    fn iter_gossip_candidates(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let me = self.gossiper.me();
         self.gossiper
             .endpoints()
             .iter()
-            .filter(|(&p, st)| p != self.gossiper.me() && st.app.status != NodeStatus::Left)
+            .filter(move |(&p, st)| p != me && st.app.status != NodeStatus::Left)
             .map(|(&p, _)| crate::ringinfo::node_of(p))
-            .collect()
     }
 
     /// Updates this node's own gossiped ring state (and its own ring

@@ -757,12 +757,24 @@ fn finish_send_round(
     let node = &mut st.nodes[i];
     if node.active && !node.departed {
         node.gossiper.beat();
-        let mut candidates = node.gossip_candidates();
-        if candidates.is_empty() {
-            candidates = st.seeds.iter().copied().filter(|&s| s != node.id).collect();
-        }
-        if !candidates.is_empty() {
-            let target = candidates[node.rng.gen_index(candidates.len())];
+        // Count-then-index target selection: same candidate order and
+        // the same single RNG draw as collecting the list, without the
+        // per-round O(N) scratch Vec.
+        let me = node.id;
+        let n_cand = node.gossip_candidate_count();
+        let target = if n_cand > 0 {
+            let k = node.rng.gen_index(n_cand);
+            node.nth_gossip_candidate(k)
+        } else {
+            let n_seeds = st.seeds.iter().filter(|&&s| s != me).count();
+            if n_seeds > 0 {
+                let k = node.rng.gen_index(n_seeds);
+                st.seeds.iter().copied().filter(|&s| s != me).nth(k)
+            } else {
+                None
+            }
+        };
+        if let Some(target) = target {
             let syn = node.gossiper.make_syn();
             send_msg(st, ctx, i, target, GossipMessage::Syn(syn));
         }
@@ -809,20 +821,20 @@ fn finish_receive(
         };
         if let Some(outcome) = outcome {
             let node = &mut st.nodes[i];
-            let touched: Vec<scalecheck_gossip::Peer> = outcome
-                .heartbeat_advanced
-                .iter()
-                .chain(outcome.app_advanced.iter())
-                .copied()
-                .collect();
             let local_now = now + node.clock_skew;
             let view = node.apply_outcome(&outcome, local_now);
             let window_open = node.pending_window_open();
-            let touched_pending = touched.iter().any(|p| {
-                node.gossiper.endpoint(*p).is_some_and(|s| {
-                    matches!(s.app.status, NodeStatus::Joining | NodeStatus::Leaving)
-                })
-            });
+            // Walk the outcome's peer lists directly (post-apply, as
+            // before) instead of collecting them into a scratch Vec.
+            let touched_pending = outcome
+                .heartbeat_advanced
+                .iter()
+                .chain(outcome.app_advanced.iter())
+                .any(|p| {
+                    node.gossiper.endpoint(*p).is_some_and(|s| {
+                        matches!(s.app.status, NodeStatus::Joining | NodeStatus::Leaving)
+                    })
+                });
             trigger = view.topology_changed || (window_open && touched_pending);
         }
     }

@@ -23,13 +23,23 @@ pub enum Liveness {
     Dead,
 }
 
+/// One peer's monitoring state: arrival statistics plus the current
+/// verdict. Keeping them in one map entry means the per-tick
+/// [`FailureDetector::interpret_all`] sweep — O(peers), every
+/// fd-interval, on every node — walks a single tree instead of probing
+/// a second verdict map per peer.
+#[derive(Clone, Debug)]
+struct PeerMonitor {
+    det: PhiDetector,
+    verdict: Liveness,
+}
+
 /// One node's failure-detection state over all its peers.
 #[derive(Clone, Debug)]
 pub struct FailureDetector {
     threshold: f64,
     gossip_interval: SimDuration,
-    detectors: BTreeMap<Peer, PhiDetector>,
-    verdicts: BTreeMap<Peer, Liveness>,
+    monitors: BTreeMap<Peer, PeerMonitor>,
     flaps: u64,
     recoveries: u64,
     fault_suspects: BTreeSet<Peer>,
@@ -43,8 +53,7 @@ impl FailureDetector {
         FailureDetector {
             threshold,
             gossip_interval,
-            detectors: BTreeMap::new(),
-            verdicts: BTreeMap::new(),
+            monitors: BTreeMap::new(),
             flaps: 0,
             recoveries: 0,
             fault_suspects: BTreeSet::new(),
@@ -56,13 +65,13 @@ impl FailureDetector {
     /// was convicted, it is marked alive again (a recovery).
     pub fn report(&mut self, peer: Peer, now: SimTime) {
         let interval = self.gossip_interval;
-        self.detectors
-            .entry(peer)
-            .or_insert_with(|| PhiDetector::cassandra(interval))
-            .heartbeat(now);
-        let verdict = self.verdicts.entry(peer).or_insert(Liveness::Alive);
-        if *verdict == Liveness::Dead {
-            *verdict = Liveness::Alive;
+        let mon = self.monitors.entry(peer).or_insert_with(|| PeerMonitor {
+            det: PhiDetector::cassandra(interval),
+            verdict: Liveness::Alive,
+        });
+        mon.det.heartbeat(now);
+        if mon.verdict == Liveness::Dead {
+            mon.verdict = Liveness::Alive;
             self.recoveries += 1;
         }
     }
@@ -71,10 +80,9 @@ impl FailureDetector {
     /// returned and each conviction counts as one flap.
     pub fn interpret_all(&mut self, now: SimTime) -> Vec<Peer> {
         let mut newly_dead = Vec::new();
-        for (&peer, det) in &self.detectors {
-            let verdict = self.verdicts.entry(peer).or_insert(Liveness::Alive);
-            if *verdict == Liveness::Alive && det.phi(now) > self.threshold {
-                *verdict = Liveness::Dead;
+        for (&peer, mon) in self.monitors.iter_mut() {
+            if mon.verdict == Liveness::Alive && mon.det.phi(now) > self.threshold {
+                mon.verdict = Liveness::Dead;
                 self.flaps += 1;
                 if self.fault_suspects.contains(&peer) {
                     self.fault_attributed += 1;
@@ -87,14 +95,14 @@ impl FailureDetector {
 
     /// Current verdict for `peer` (peers never reported are unknown).
     pub fn liveness(&self, peer: Peer) -> Option<Liveness> {
-        self.verdicts.get(&peer).copied()
+        self.monitors.get(&peer).map(|m| m.verdict)
     }
 
     /// Peers currently considered dead.
     pub fn dead_peers(&self) -> Vec<Peer> {
-        self.verdicts
+        self.monitors
             .iter()
-            .filter(|(_, &v)| v == Liveness::Dead)
+            .filter(|(_, m)| m.verdict == Liveness::Dead)
             .map(|(&p, _)| p)
             .collect()
     }
@@ -124,8 +132,7 @@ impl FailureDetector {
     /// (e.g. the local clock stepped: any conviction we issue is the
     /// fault's doing).
     pub fn mark_all_fault_suspects(&mut self) {
-        let peers: Vec<Peer> = self.detectors.keys().copied().collect();
-        self.fault_suspects.extend(peers);
+        self.fault_suspects.extend(self.monitors.keys().copied());
     }
 
     /// Flaps whose convicted peer was a fault suspect at conviction
@@ -138,26 +145,24 @@ impl FailureDetector {
     /// with no inter-arrival history — while keeping the lifetime flap,
     /// recovery, and attribution counters.
     pub fn reset_monitoring(&mut self) {
-        self.detectors.clear();
-        self.verdicts.clear();
+        self.monitors.clear();
         self.fault_suspects.clear();
     }
 
     /// The φ suspicion for `peer`, if monitored.
     pub fn phi(&self, peer: Peer, now: SimTime) -> Option<f64> {
-        self.detectors.get(&peer).map(|d| d.phi(now))
+        self.monitors.get(&peer).map(|m| m.det.phi(now))
     }
 
     /// Stops monitoring `peer` (it departed cleanly; silence is expected
     /// and must not count as a flap).
     pub fn forget(&mut self, peer: Peer) {
-        self.detectors.remove(&peer);
-        self.verdicts.remove(&peer);
+        self.monitors.remove(&peer);
     }
 
     /// Number of monitored peers.
     pub fn monitored(&self) -> usize {
-        self.detectors.len()
+        self.monitors.len()
     }
 }
 

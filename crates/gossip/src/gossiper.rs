@@ -193,14 +193,28 @@ impl<A: Clone + PartialEq> Gossiper<A> {
                 }
             }
         }
-        // Peers only we know about: volunteer them in full. Sorted
-        // membership lookup keeps this O(n log n) rather than a nested
-        // scan — with n-entry SYNs every round this is hot.
-        let mut claimed: Vec<Peer> = syn.digests.iter().map(|d| d.peer).collect();
-        claimed.sort_unstable();
-        for (&peer, st) in &self.map {
-            if claimed.binary_search(&peer).is_err() {
-                deltas.push((peer, Delta::Full(st.clone())));
+        // Peers only we know about: volunteer them in full. SYNs built
+        // by `make_syn` list digests in peer order (ordered-map
+        // iteration), so a single merge pass against our own ordered
+        // view finds the gaps with no allocation and no sort — with
+        // n-entry SYNs every round this is hot. A SYN that arrives
+        // unsorted (the wire type allows it) falls back to
+        // sort-and-probe with the identical result.
+        if syn.digests.windows(2).all(|w| w[0].peer <= w[1].peer) {
+            let mut digests = syn.digests.iter().peekable();
+            for (&peer, st) in &self.map {
+                while digests.next_if(|d| d.peer < peer).is_some() {}
+                if digests.peek().is_none_or(|d| d.peer != peer) {
+                    deltas.push((peer, Delta::Full(st.clone())));
+                }
+            }
+        } else {
+            let mut claimed: Vec<Peer> = syn.digests.iter().map(|d| d.peer).collect();
+            claimed.sort_unstable();
+            for (&peer, st) in &self.map {
+                if claimed.binary_search(&peer).is_err() {
+                    deltas.push((peer, Delta::Full(st.clone())));
+                }
             }
         }
         scalecheck_obs::metric(

@@ -21,14 +21,34 @@ use scalecheck_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Sliding-window arrival statistics and suspicion for one peer.
+///
+/// # Numerical anchoring of the running sum
+///
+/// `mean_interval` used to re-sum the whole window (up to 1000 `f64`
+/// samples) on every call — and it is called once per peer per
+/// failure-detector tick, making the detector O(window · peers) per
+/// tick. The fix keeps a running sum maintained incrementally in
+/// [`PhiDetector::heartbeat`]. A running *float* sum cannot be kept
+/// bit-identical to a windowed re-sum (float addition is not
+/// associative, and subtracting an evicted sample re-rounds), so the
+/// window stores intervals as **integer nanoseconds** and the running
+/// sum is a `u128`: integer addition is exact and associative, the
+/// incremental sum equals a from-scratch re-sum bit-for-bit, and both
+/// paths share the single final float conversion in `mean_interval`.
+/// The differential proptest in `tests/proptests.rs` pins this
+/// equivalence (exact `f64::to_bits` equality against
+/// [`PhiDetector::mean_interval_naive`]).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct PhiDetector {
-    window: VecDeque<f64>,
+    /// Inter-arrival samples in integer nanoseconds (see above).
+    window: VecDeque<u64>,
+    /// Exact sum of `window` in nanoseconds, maintained incrementally.
+    window_sum_ns: u128,
     window_cap: usize,
     last_arrival: Option<SimTime>,
     mean_floor_s: f64,
     initial_mean_s: f64,
-    max_interval_s: f64,
+    max_interval_ns: u64,
 }
 
 impl PhiDetector {
@@ -52,11 +72,12 @@ impl PhiDetector {
     ) -> Self {
         PhiDetector {
             window: VecDeque::with_capacity(window_cap.min(4096)),
+            window_sum_ns: 0,
             window_cap: window_cap.max(1),
             last_arrival: None,
             mean_floor_s: mean_floor.as_secs_f64(),
             initial_mean_s: initial_mean.as_secs_f64(),
-            max_interval_s: max_interval.as_secs_f64(),
+            max_interval_ns: max_interval.as_nanos(),
         }
     }
 
@@ -73,31 +94,63 @@ impl PhiDetector {
     }
 
     /// Records a heartbeat arrival at `now`.
+    ///
+    /// A late (out-of-order) beat — `now` at or before the recorded
+    /// last arrival — is ignored entirely: it contributes no window
+    /// sample and does not move `last_arrival`, which is already at a
+    /// later time.
     pub fn heartbeat(&mut self, now: SimTime) {
-        if let Some(last) = self.last_arrival {
-            if now > last {
-                let interval = now.since(last).as_secs_f64();
+        match self.last_arrival {
+            None => self.last_arrival = Some(now),
+            Some(last) if now <= last => {}
+            Some(last) => {
+                let interval_ns = now.since(last).as_nanos();
                 // Cassandra drops outsize intervals instead of letting
                 // them inflate the mean.
-                if interval <= self.max_interval_s {
+                if interval_ns <= self.max_interval_ns {
                     if self.window.len() == self.window_cap {
-                        self.window.pop_front();
+                        if let Some(evicted) = self.window.pop_front() {
+                            self.window_sum_ns -= u128::from(evicted);
+                        }
                     }
-                    self.window.push_back(interval);
+                    self.window.push_back(interval_ns);
+                    self.window_sum_ns += u128::from(interval_ns);
                 }
+                self.last_arrival = Some(now);
             }
         }
-        self.last_arrival = Some(self.last_arrival.map_or(now, |l| l.max(now)));
     }
 
-    /// Estimated mean inter-arrival, clamped to the floor.
+    /// Estimated mean inter-arrival, clamped to the floor. O(1): reads
+    /// the running nanosecond sum maintained by [`Self::heartbeat`].
     pub fn mean_interval(&self) -> f64 {
         let mean = if self.window.is_empty() {
             self.initial_mean_s
         } else {
-            self.window.iter().sum::<f64>() / self.window.len() as f64
+            Self::mean_of(self.window_sum_ns, self.window.len())
         };
         mean.max(self.mean_floor_s)
+    }
+
+    /// Reference implementation of [`Self::mean_interval`] that re-sums
+    /// the window from scratch on every call (the pre-optimization
+    /// behavior). Kept public so the differential proptests can pin
+    /// exact `f64` equality between the two paths.
+    pub fn mean_interval_naive(&self) -> f64 {
+        let mean = if self.window.is_empty() {
+            self.initial_mean_s
+        } else {
+            let sum: u128 = self.window.iter().map(|&ns| u128::from(ns)).sum();
+            Self::mean_of(sum, self.window.len())
+        };
+        mean.max(self.mean_floor_s)
+    }
+
+    /// The one place nanoseconds become seconds: `sum / len` stays in
+    /// the reals until the final division, so running and naive sums
+    /// round identically.
+    fn mean_of(sum_ns: u128, len: usize) -> f64 {
+        (sum_ns as f64) / (len as f64) / 1e9
     }
 
     /// Current suspicion level. Zero until the first heartbeat arrives.
@@ -234,6 +287,57 @@ mod tests {
         d.heartbeat(secs(10));
         d.heartbeat(secs(5)); // Late-arriving old beat.
         assert_eq!(d.last_arrival(), Some(secs(10)));
+    }
+
+    #[test]
+    fn out_of_order_heartbeat_leaves_window_and_mean_untouched() {
+        let mut ordered = det();
+        let mut disordered = det();
+        for s in 0..10 {
+            ordered.heartbeat(secs(s));
+            disordered.heartbeat(secs(s));
+        }
+        // A burst of stale beats: none may add a sample, move the
+        // high-water mark, or perturb the mean.
+        disordered.heartbeat(secs(4));
+        disordered.heartbeat(secs(9)); // Duplicate of the latest beat.
+        disordered.heartbeat(secs(0));
+        assert_eq!(disordered.last_arrival(), Some(secs(9)));
+        assert_eq!(disordered.samples(), ordered.samples());
+        assert_eq!(
+            disordered.mean_interval().to_bits(),
+            ordered.mean_interval().to_bits()
+        );
+        // The next in-order beat measures from the retained high-water
+        // mark, not from any of the stale arrivals.
+        disordered.heartbeat(secs(10));
+        ordered.heartbeat(secs(10));
+        assert_eq!(disordered.samples(), ordered.samples());
+        assert_eq!(
+            disordered.phi(secs(12)).to_bits(),
+            ordered.phi(secs(12)).to_bits()
+        );
+    }
+
+    #[test]
+    fn running_sum_matches_naive_resum_exactly() {
+        let mut d = PhiDetector::new(
+            16,
+            SimDuration::from_secs(1),
+            SimDuration::from_millis(1),
+            SimDuration::from_secs(3),
+        );
+        let mut t = 0u64;
+        for i in 0..200u64 {
+            // Irregular gaps, some past max_interval (dropped), plus
+            // enough beats to cycle the window many times over.
+            t += 100_000_007 * (i % 37 + 1);
+            d.heartbeat(SimTime::from_nanos(t));
+            assert_eq!(
+                d.mean_interval().to_bits(),
+                d.mean_interval_naive().to_bits()
+            );
+        }
     }
 
     // Test-only helper: fractional-second construction.

@@ -10,7 +10,7 @@
 //! what the memoizer records to enforce the paper's *order determinism*
 //! during PIL replay (§5).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 use scalecheck_sim::{Counter, DetRng, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -113,45 +113,60 @@ impl Default for NetworkConfig {
 /// Per-link FIFO clocks.
 ///
 /// `fifo_clamp` runs once per accepted message — the network hot path —
-/// so lookups index a dense `side × side` matrix (row = src, col = dst)
-/// instead of walking a tree. The matrix grows lazily with the highest
-/// address seen; addresses past the dense cap (not produced by the
-/// cluster layers, which number nodes from 0) fall back to a map.
+/// so every lookup must be O(1) array indexing. The address plane is
+/// carved into `TILE × TILE` tiles (tile row = src block, tile column =
+/// dst block): a top-level directory of tile pointers grows
+/// geometrically with the highest address seen, and each tile is
+/// allocated the first time a link inside it is touched.
+///
+/// The previous layout was one dense `side × side` matrix capped at
+/// 1024 addresses, with everything beyond the cap falling off a cliff
+/// into per-message `BTreeMap` probes — exactly the kind of
+/// hidden-past-the-tested-scale bug this simulator exists to catch.
+/// Tiling removes the cap (4096-addr runs stay O(1)), makes growth
+/// cheap (the directory copy moves pointers, never clock data), and
+/// allocates only the tiles traffic actually reaches.
 #[derive(Clone, Debug, Default)]
 struct LinkClocks {
-    grid: Vec<SimTime>,
-    side: usize,
-    sparse: BTreeMap<(Addr, Addr), SimTime>,
+    /// Row-major `top_side × top_side` directory of lazily allocated
+    /// tiles.
+    tiles: Vec<Option<Box<[SimTime; Self::TILE * Self::TILE]>>>,
+    /// Directory side length, in tiles.
+    top_side: usize,
 }
 
 impl LinkClocks {
-    /// Largest address kept in the dense matrix: 1024² clocks is an
-    /// 8 MiB ceiling, and the lazy growth means real runs pay only
-    /// `(max_addr + 1)²`.
-    const MAX_DENSE: usize = 1024;
+    /// Tile side in addresses: one touched tile is 64² clocks = 32 KiB.
+    const TILE: usize = 64;
 
     fn clock_mut(&mut self, src: Addr, dst: Addr) -> &mut SimTime {
         let (s, d) = (src.0 as usize, dst.0 as usize);
-        if s < Self::MAX_DENSE && d < Self::MAX_DENSE {
-            let need = s.max(d) + 1;
-            if need > self.side {
-                self.grow(need);
-            }
-            &mut self.grid[s * self.side + d]
-        } else {
-            self.sparse.entry((src, dst)).or_insert(SimTime::ZERO)
+        let (ts, td) = (s / Self::TILE, d / Self::TILE);
+        let need = ts.max(td) + 1;
+        if need > self.top_side {
+            self.grow(need);
         }
+        let tile = self.tiles[ts * self.top_side + td]
+            .get_or_insert_with(|| Box::new([SimTime::ZERO; Self::TILE * Self::TILE]));
+        &mut tile[(s % Self::TILE) * Self::TILE + (d % Self::TILE)]
     }
 
     fn grow(&mut self, need: usize) {
-        let new_side = need.next_power_of_two().min(Self::MAX_DENSE);
-        let mut grid = vec![SimTime::ZERO; new_side * new_side];
-        for r in 0..self.side {
-            grid[r * new_side..r * new_side + self.side]
-                .copy_from_slice(&self.grid[r * self.side..(r + 1) * self.side]);
+        let new_side = need.next_power_of_two();
+        let mut tiles: Vec<Option<Box<[SimTime; Self::TILE * Self::TILE]>>> = Vec::new();
+        tiles.resize_with(new_side * new_side, || None);
+        for r in 0..self.top_side {
+            for c in 0..self.top_side {
+                tiles[r * new_side + c] = self.tiles[r * self.top_side + c].take();
+            }
         }
-        self.grid = grid;
-        self.side = new_side;
+        self.tiles = tiles;
+        self.top_side = new_side;
+    }
+
+    #[cfg(test)]
+    fn allocated_tiles(&self) -> usize {
+        self.tiles.iter().filter(|t| t.is_some()).count()
     }
 }
 
@@ -435,6 +450,7 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeMap;
 
     fn net(drop: f64) -> Network {
         Network::new(NetworkConfig {
@@ -444,24 +460,58 @@ mod tests {
     }
 
     #[test]
-    fn link_clocks_survive_growth_and_reach_the_sparse_fallback() {
+    fn link_clocks_survive_growth_past_the_old_dense_cap() {
         let mut clocks = LinkClocks::default();
         *clocks.clock_mut(Addr(0), Addr(1)) = SimTime::from_secs(5);
-        assert_eq!(clocks.side, 2);
-        // Touching a larger address grows the matrix; earlier clocks
+        assert_eq!(clocks.top_side, 1);
+        assert_eq!(clocks.allocated_tiles(), 1);
+        // Touching a larger address grows the directory; earlier clocks
         // must carry over.
         *clocks.clock_mut(Addr(100), Addr(7)) = SimTime::from_secs(9);
-        assert!(clocks.side >= 101);
+        assert!(clocks.top_side >= 2);
         assert_eq!(*clocks.clock_mut(Addr(0), Addr(1)), SimTime::from_secs(5));
         assert_eq!(*clocks.clock_mut(Addr(100), Addr(7)), SimTime::from_secs(9));
         // Untouched links start at zero, directions are independent.
         assert_eq!(*clocks.clock_mut(Addr(1), Addr(0)), SimTime::ZERO);
-        // Addresses past the dense cap land in the sparse map and keep
-        // their clocks too.
-        let big = Addr(LinkClocks::MAX_DENSE as u32 + 3);
+        // Addresses past the old 1024 dense cap stay in O(1) tiles —
+        // no more BTreeMap cliff — and keep their clocks too.
+        let tiles_before = clocks.allocated_tiles();
+        let big = Addr(4099);
         *clocks.clock_mut(big, Addr(1)) = SimTime::from_secs(11);
         assert_eq!(*clocks.clock_mut(big, Addr(1)), SimTime::from_secs(11));
-        assert_eq!(clocks.sparse.len(), 1);
+        assert_eq!(clocks.allocated_tiles(), tiles_before + 1);
+        // Growth allocates directory slots, not clock storage: only
+        // touched tiles own memory.
+        assert!(clocks.top_side >= 65);
+    }
+
+    #[test]
+    fn link_clocks_match_a_sparse_reference_model() {
+        // Differential check of the tiled store against the obvious
+        // sparse map it replaced, across tile boundaries and growth.
+        let mut clocks = LinkClocks::default();
+        let mut model: BTreeMap<(Addr, Addr), SimTime> = BTreeMap::new();
+        let mut x = 0x2545f4914f6cdd1du64;
+        for i in 0..4000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let src = Addr((x % 4300) as u32);
+            let dst = Addr(((x >> 32) % 4300) as u32);
+            let t = SimTime::from_nanos(i);
+            let c = clocks.clock_mut(src, dst);
+            if *c < t {
+                *c = t;
+            }
+            let m = model.entry((src, dst)).or_insert(SimTime::ZERO);
+            if *m < t {
+                *m = t;
+            }
+            assert_eq!(*clocks.clock_mut(src, dst), model[&(src, dst)]);
+        }
+        for (&(src, dst), &t) in &model {
+            assert_eq!(*clocks.clock_mut(src, dst), t);
+        }
     }
 
     #[test]

@@ -273,7 +273,9 @@ impl PendingRangeCalculator for V1Cubic {
         // keeping only the final answer.
         for m in 1..=changes.len().max(1) {
             let prefix = &changes[..m.min(changes.len())];
-            let future = ring.future_token_map(prefix);
+            let future = ring
+                .future_token_map(prefix)
+                .expect("duplicate token in change list");
             count_sort(future.len(), counter);
             out = PendingRanges::new();
             let n = future.len();
@@ -341,7 +343,9 @@ impl PendingRangeCalculator for V2Quadratic {
         let mut out = PendingRanges::new();
         for m in 1..=changes.len().max(1) {
             let prefix = &changes[..m.min(changes.len())];
-            let future = ring.future_token_map(prefix);
+            let future = ring
+                .future_token_map(prefix)
+                .expect("duplicate token in change list");
             count_sort(future.len(), counter);
             out = PendingRanges::new();
             let n = future.len();
@@ -398,7 +402,9 @@ impl PendingRangeCalculator for V3VnodeAware {
         let mut out = PendingRanges::new();
         for m in 1..=changes.len().max(1) {
             let prefix = &changes[..m.min(changes.len())];
-            let future = ring.future_token_map(prefix);
+            let future = ring
+                .future_token_map(prefix)
+                .expect("duplicate token in change list");
             count_sort(future.len(), counter);
             out = pending_for(ring, prefix, counter, &current, &future);
         }
@@ -443,7 +449,9 @@ impl PendingRangeCalculator for FreshRingQuadratic {
         let mut out = PendingRanges::new();
         for m in 1..=changes.len().max(1) {
             let prefix = &changes[..m.min(changes.len())];
-            let future = ring.future_token_map(prefix);
+            let future = ring
+                .future_token_map(prefix)
+                .expect("duplicate token in change list");
             count_sort(future.len(), counter);
             out = PendingRanges::new();
             let n = future.len();

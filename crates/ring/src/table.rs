@@ -6,6 +6,7 @@
 //! finder flags.
 
 use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
 
 use serde::{Deserialize, Serialize};
 
@@ -83,11 +84,58 @@ impl std::fmt::Display for RingError {
 
 impl std::error::Error for RingError {}
 
+/// Lazily built cache of [`RingTable::current_token_map`].
+///
+/// The token map used to be rebuilt and re-sorted from the node table
+/// on every call — O(N·P log N·P) in a path the calculators hit per
+/// change entry. The cache holds the sorted map behind an `Arc` so
+/// lookups are O(1) and snapshot clones of the ring keep the warm
+/// cache. Every topology mutation resets it.
+///
+/// The cache is pure memoization and must stay invisible to the
+/// serialized form (memo digests and sweep cache keys hash the
+/// serialized config/ring, never the cache): it serializes as `null`
+/// and deserializes to cold, and `write_canonical` never reads it.
+#[derive(Default)]
+struct TokenMapCache(OnceLock<Arc<Vec<(Token, NodeId)>>>);
+
+impl Clone for TokenMapCache {
+    fn clone(&self) -> Self {
+        let cache = TokenMapCache::default();
+        if let Some(map) = self.0.get() {
+            let _ = cache.0.set(Arc::clone(map));
+        }
+        cache
+    }
+}
+
+impl std::fmt::Debug for TokenMapCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0.get() {
+            Some(map) => write!(f, "TokenMapCache(warm, {} entries)", map.len()),
+            None => write!(f, "TokenMapCache(cold)"),
+        }
+    }
+}
+
+impl Serialize for TokenMapCache {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+impl Deserialize for TokenMapCache {
+    fn deserialize(_v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(TokenMapCache::default())
+    }
+}
+
 /// The cluster's view of token ownership.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RingTable {
     rf: usize,
     nodes: BTreeMap<NodeId, NodeState>,
+    token_map: TokenMapCache,
 }
 
 impl RingTable {
@@ -101,6 +149,7 @@ impl RingTable {
         RingTable {
             rf,
             nodes: BTreeMap::new(),
+            token_map: TokenMapCache::default(),
         }
     }
 
@@ -127,6 +176,7 @@ impl RingTable {
             }
         }
         self.nodes.insert(node, NodeState { status, tokens });
+        self.token_map = TokenMapCache::default();
         Ok(())
     }
 
@@ -135,6 +185,7 @@ impl RingTable {
         match self.nodes.get_mut(&node) {
             Some(st) => {
                 st.status = status;
+                self.token_map = TokenMapCache::default();
                 Ok(())
             }
             None => Err(RingError::UnknownNode(node)),
@@ -143,10 +194,13 @@ impl RingTable {
 
     /// Removes a node entirely.
     pub fn remove_node(&mut self, node: NodeId) -> Result<(), RingError> {
-        self.nodes
-            .remove(&node)
-            .map(|_| ())
-            .ok_or(RingError::UnknownNode(node))
+        match self.nodes.remove(&node) {
+            Some(_) => {
+                self.token_map = TokenMapCache::default();
+                Ok(())
+            }
+            None => Err(RingError::UnknownNode(node)),
+        }
     }
 
     /// A node's state, if present.
@@ -180,7 +234,24 @@ impl RingTable {
     /// The sorted `(token, node)` map of *current* owners: nodes in
     /// `Normal` or `Leaving` status (Leaving nodes still own their ranges
     /// until departure completes).
-    pub fn current_token_map(&self) -> Vec<(Token, NodeId)> {
+    ///
+    /// Cached: the first call after a topology mutation rebuilds the
+    /// map; subsequent calls hand out the shared snapshot. The returned
+    /// `Arc<Vec<_>>` derefs to a slice, so read-only callers are
+    /// unchanged.
+    pub fn current_token_map(&self) -> Arc<Vec<(Token, NodeId)>> {
+        Arc::clone(
+            self.token_map
+                .0
+                .get_or_init(|| Arc::new(self.rebuild_current_token_map())),
+        )
+    }
+
+    /// Reference implementation of [`Self::current_token_map`]: rebuilds
+    /// the sorted map from the node table on every call (the pre-cache
+    /// behavior). Used to fill the cache and by the differential
+    /// proptests pinning cached == rebuilt.
+    pub fn rebuild_current_token_map(&self) -> Vec<(Token, NodeId)> {
         let mut map: Vec<(Token, NodeId)> = self
             .nodes
             .iter()
@@ -194,8 +265,19 @@ impl RingTable {
     /// The sorted `(token, node)` map after applying `changes` on top of
     /// the current owners: joins add tokens, leaves remove the node's
     /// tokens.
-    pub fn future_token_map(&self, changes: &[TopologyChange]) -> Vec<(Token, NodeId)> {
-        let mut map = self.current_token_map();
+    ///
+    /// A change list may repeat an exact `(token, node)` pair (an
+    /// idempotent re-join); those collapse. A token claimed by two
+    /// *different* nodes is a topology corruption: the old code
+    /// `dedup_by_key`ed it away, silently disagreeing with
+    /// [`Self::current_token_map`] (which never dedups) about the owner
+    /// set. It is now detected and reported as
+    /// [`RingError::DuplicateToken`] carrying the first claimant.
+    pub fn future_token_map(
+        &self,
+        changes: &[TopologyChange],
+    ) -> Result<Vec<(Token, NodeId)>, RingError> {
+        let mut map: Vec<(Token, NodeId)> = (*self.current_token_map()).clone();
         for ch in changes {
             match ch {
                 TopologyChange::Join { node, tokens } => {
@@ -209,8 +291,13 @@ impl RingTable {
             }
         }
         map.sort_unstable();
-        map.dedup_by_key(|&mut (t, _)| t);
-        map
+        map.dedup();
+        for w in map.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(RingError::DuplicateToken(w[0].0, w[0].1));
+            }
+        }
+        Ok(map)
     }
 
     /// Canonical byte encoding for memoization digests: stable across
@@ -334,13 +421,15 @@ mod tests {
             .unwrap();
         r.add_node(NodeId(1), NodeStatus::Normal, vec![Token(20)])
             .unwrap();
-        let future = r.future_token_map(&[
-            TopologyChange::Leave { node: NodeId(0) },
-            TopologyChange::Join {
-                node: NodeId(2),
-                tokens: vec![Token(5), Token(15)],
-            },
-        ]);
+        let future = r
+            .future_token_map(&[
+                TopologyChange::Leave { node: NodeId(0) },
+                TopologyChange::Join {
+                    node: NodeId(2),
+                    tokens: vec![Token(5), Token(15)],
+                },
+            ])
+            .unwrap();
         assert_eq!(
             future,
             vec![
@@ -349,6 +438,58 @@ mod tests {
                 (Token(20), NodeId(1))
             ]
         );
+    }
+
+    #[test]
+    fn future_map_rejects_token_claimed_by_two_nodes() {
+        let mut r = RingTable::new(3);
+        r.add_node(NodeId(0), NodeStatus::Normal, vec![Token(10)])
+            .unwrap();
+        let err = r
+            .future_token_map(&[TopologyChange::Join {
+                node: NodeId(1),
+                tokens: vec![Token(10)],
+            }])
+            .unwrap_err();
+        assert_eq!(err, RingError::DuplicateToken(Token(10), NodeId(0)));
+    }
+
+    #[test]
+    fn future_map_collapses_idempotent_rejoin() {
+        let mut r = RingTable::new(3);
+        r.add_node(NodeId(0), NodeStatus::Normal, vec![Token(10)])
+            .unwrap();
+        // The same node re-claiming its own token is idempotent, not
+        // a corruption.
+        let future = r
+            .future_token_map(&[TopologyChange::Join {
+                node: NodeId(0),
+                tokens: vec![Token(10)],
+            }])
+            .unwrap();
+        assert_eq!(future, vec![(Token(10), NodeId(0))]);
+    }
+
+    #[test]
+    fn token_map_cache_tracks_every_mutation() {
+        let mut r = ring_of(6, 8);
+        assert_eq!(*r.current_token_map(), r.rebuild_current_token_map());
+        r.set_status(NodeId(2), NodeStatus::Leaving).unwrap();
+        assert_eq!(*r.current_token_map(), r.rebuild_current_token_map());
+        r.set_status(NodeId(2), NodeStatus::Left).unwrap();
+        assert_eq!(*r.current_token_map(), r.rebuild_current_token_map());
+        r.remove_node(NodeId(3)).unwrap();
+        assert_eq!(*r.current_token_map(), r.rebuild_current_token_map());
+        r.add_node(NodeId(99), NodeStatus::Normal, vec![Token(1)])
+            .unwrap();
+        assert_eq!(*r.current_token_map(), r.rebuild_current_token_map());
+        // Clones carry the warm cache and stay consistent after the
+        // original mutates further.
+        let snap = r.clone();
+        r.remove_node(NodeId(99)).unwrap();
+        assert_eq!(*snap.current_token_map(), snap.rebuild_current_token_map());
+        assert_eq!(*r.current_token_map(), r.rebuild_current_token_map());
+        assert_ne!(*snap.current_token_map(), *r.current_token_map());
     }
 
     #[test]

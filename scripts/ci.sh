@@ -77,4 +77,18 @@ echo "=== wheel/heap differential properties ==="
 cargo test -q --test proptests wheel_and_heap_schedulers_are_indistinguishable
 cargo test -q --test proptests steady_state_periodic_timers_run_allocation_free
 
+# Scale smoke: the harness must stay fast enough to reach the scales
+# the paper argues for. One 1024-node SC+PIL cell runs cache-free and
+# must finish inside the wall budget (sized for a single-CPU worker),
+# and its row must satisfy the bench_scale/v1 schema. Full trajectory
+# numbers come from scripts/run_experiments.sh --scale (see
+# EXPERIMENTS.md, "Scaling beyond the paper").
+echo "=== scale smoke (tbl_scale --smoke, 1024-node SC+PIL) ==="
+target/release/tbl_scale --smoke --budget-secs 600
+
+echo "=== optimized-vs-naive differential properties ==="
+cargo test -q --test proptests phi_running_sum_matches_naive_resum
+cargo test -q --test proptests token_map_cache_is_transparent
+cargo test -q --test proptests link_fifo_clocks_match_a_sparse_model
+
 echo "ci green"

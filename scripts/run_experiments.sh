@@ -9,11 +9,16 @@
 # --diverge     also regenerate TBL_diverge.txt (the §6 divergence
 #               attribution at C3831/N=128: three traced runs + two
 #               analyzer passes — several extra minutes).
+# --scale       also regenerate BENCH_scale.json / TBL_scale.txt (the
+#               256–4096-node harness-throughput sweep; the big cells
+#               take tens of minutes each on a cold cache).
 set -u
 cd "$(dirname "$0")/.."
 SCALES="32,64,128,256"
+SCALE_SCALES="256,512,1024,2048"
 FAULT_INTENSITIES="0,0.3,0.7"
 DIVERGE=0
+SCALE=0
 SWEEP_FLAGS=()
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -26,7 +31,8 @@ while [ $# -gt 0 ]; do
       [ $# -ge 2 ] || { echo "--faults needs a value" >&2; exit 2; }
       FAULT_INTENSITIES="$2"; shift ;;
     --diverge) DIVERGE=1 ;;
-    *) echo "unknown flag: $1" >&2; echo "usage: $0 [--quick] [--jobs N] [--no-cache] [--faults LIST] [--diverge]" >&2; exit 2 ;;
+    --scale) SCALE=1 ;;
+    *) echo "unknown flag: $1" >&2; echo "usage: $0 [--quick] [--jobs N] [--no-cache] [--faults LIST] [--diverge] [--scale]" >&2; exit 2 ;;
   esac
   shift
 done
@@ -64,5 +70,11 @@ run bench_engine "$BIN/bench_engine" --out BENCH_engine.json
 # runs defeat the result cache, so this is opt-in.
 if [ "$DIVERGE" = 1 ]; then
   run tbl_diverge "$BIN/tbl_diverge" --nodes 128 --out TBL_diverge.txt
+fi
+# Harness-throughput scale sweep: writes BENCH_scale.json and
+# TBL_scale.txt at the repo root (tracked). The 2048/4096-node cells
+# are expensive on a cold cache, so this is opt-in.
+if [ "$SCALE" = 1 ]; then
+  run tbl_scale "$BIN/tbl_scale" --scales "$SCALE_SCALES"
 fi
 echo "all experiments done"

@@ -101,7 +101,9 @@ proptest! {
         let nodes: Vec<NodeId> = ring.iter().map(|(id, _)| id).collect();
         prop_assume!(!nodes.is_empty());
         let leaver = nodes[leaver_idx % nodes.len()];
-        let map = ring.future_token_map(&[TopologyChange::Leave { node: leaver }]);
+        let map = ring
+            .future_token_map(&[TopologyChange::Leave { node: leaver }])
+            .expect("leave-only changes cannot introduce duplicate tokens");
         for w in map.windows(2) {
             prop_assert!(w[0].0 < w[1].0, "sorted and unique");
         }
@@ -463,6 +465,99 @@ proptest! {
             net.heal(Addr(a), Addr(b));
             prop_assert!(net.offer(now, &mut rng, Addr(b), Addr(a)).is_ok());
             prop_assert!(net.offer(now, &mut rng, Addr(a), Addr(b)).is_ok());
+        }
+    }
+
+    /// Differential: the φ detector's O(1) running-sum mean is
+    /// bit-identical to naively re-summing the window after every
+    /// heartbeat.
+    ///
+    /// Exact `f64` equality (`to_bits`) is deliberate, not optimistic:
+    /// the window stores intervals as integer nanoseconds and the
+    /// running sum is a `u128`, so both paths add the *same integers*
+    /// (where addition is exact and associative) and perform the single
+    /// lossy int→float conversion through the same helper. Any drift
+    /// here means the incremental bookkeeping diverged from the window
+    /// contents — a real bug, not float noise.
+    #[test]
+    fn phi_running_sum_matches_naive_resum(
+        gaps in prop::collection::vec(0u64..40_000_000_000, 1..1200),
+    ) {
+        use scalecheck_gossip::PhiDetector;
+        let mut d = PhiDetector::cassandra(SimDuration::from_secs(1));
+        let mut now = SimTime::ZERO;
+        for &g in &gaps {
+            // g == 0 exercises the ignored out-of-order/duplicate path;
+            // large g exercises the max-interval filter; > 1000 beats
+            // exercises window eviction.
+            now += SimDuration::from_nanos(g);
+            d.heartbeat(now);
+            prop_assert_eq!(
+                d.mean_interval().to_bits(),
+                d.mean_interval_naive().to_bits()
+            );
+        }
+    }
+
+    /// Differential: the cached current-token-map is indistinguishable
+    /// from rebuilding it from scratch, across arbitrary interleavings
+    /// of topology mutations and ring snapshots (clones share the warm
+    /// cache via `Arc`, so snapshot consistency is load-bearing).
+    #[test]
+    fn token_map_cache_is_transparent(
+        entries in topology_strategy(),
+        ops in prop::collection::vec((0u8..3, 0u32..100, any::<u64>()), 0..12),
+    ) {
+        let mut ring = ring_from(&entries);
+        prop_assert_eq!(&*ring.current_token_map(), &ring.rebuild_current_token_map());
+        for (kind, id, tok) in ops {
+            match kind % 3 {
+                0 => {
+                    let _ = ring.add_node(NodeId(id), NodeStatus::Normal, vec![Token(tok)]);
+                }
+                1 => {
+                    let _ = ring.set_status(NodeId(id), NodeStatus::Leaving);
+                }
+                _ => {
+                    let _ = ring.remove_node(NodeId(id));
+                }
+            }
+            prop_assert_eq!(&*ring.current_token_map(), &ring.rebuild_current_token_map());
+            let snap = ring.clone();
+            prop_assert_eq!(&*snap.current_token_map(), &snap.rebuild_current_token_map());
+        }
+    }
+
+    /// Differential: the tiled per-link FIFO clock store behaves exactly
+    /// like a sparse `BTreeMap<(src, dst), clock>` model. Constant
+    /// latency plus zero loss makes delivery times fully deterministic,
+    /// so the model predicts every `deliver_at` to the nanosecond —
+    /// including tile growth well past the old 1024-address dense cap
+    /// and independence between links that share a tile.
+    #[test]
+    fn link_fifo_clocks_match_a_sparse_model(
+        sends in prop::collection::vec((0u32..5_000, 0u32..5_000, 0u64..3_000_000), 1..200),
+    ) {
+        use scalecheck_net::{Addr, LatencyModel, Network, NetworkConfig};
+        use std::collections::BTreeMap;
+        let lat = 1_500_000u64; // 1.5 ms, constant
+        let mut net = Network::new(NetworkConfig {
+            drop_probability: 0.0,
+            latency: LatencyModel::Constant(SimDuration::from_nanos(lat)),
+        });
+        let mut rng = DetRng::new(7);
+        let mut model: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+        let mut now = SimTime::ZERO;
+        for (src, dst, advance) in sends {
+            now += SimDuration::from_nanos(advance);
+            let (_, deliver_at) = net
+                .send(now, &mut rng, Addr(src), Addr(dst))
+                .expect("loss-free network never drops");
+            let clock = model.entry((src, dst)).or_insert(0);
+            let raw = now.as_nanos() + lat;
+            let expected = if raw <= *clock { *clock + 1 } else { raw };
+            *clock = expected;
+            prop_assert_eq!(deliver_at.as_nanos(), expected);
         }
     }
 
