@@ -1,0 +1,265 @@
+//! Schedule-exploration driver: perturb-and-shrink interleaving search
+//! over the deterministic engine (see `crates/explore`).
+//!
+//! Three modes:
+//!
+//! * **hunt** (default) — sweep the given cells under the wall/eval
+//!   budget, print the outcome table, and (optionally) write the first
+//!   discovered minimal witness to `--witness-out`.
+//! * **`--smoke`** — pinned cheap cells that the stock engine handles
+//!   deterministically; asserts *zero* verdict flips and exits nonzero
+//!   on any flip (the CI guard that tie-order plumbing stays inert on
+//!   the identity path).
+//! * **`--replay FILE`** — replays a committed witness from scratch and
+//!   asserts the verdict still flips and the perturbed report digest is
+//!   bit-identical; exits nonzero otherwise.
+
+use std::time::Instant;
+
+use scalecheck_bench::{exit_usage, flag_value, has_flag, parse_flag};
+use scalecheck_explore::{
+    explore_cell, render_table, CellPlan, ExploreOpts, ScheduleWitness, Target,
+};
+
+const USAGE: &str = "\
+usage: explore_run [options]
+
+modes (default: hunt over --cells):
+  --smoke               run the pinned smoke cells; fail on any verdict flip
+  --replay FILE         replay a witness JSON; fail unless it still flips
+                        with a bit-identical perturbed report
+
+options:
+  --cells SPEC[,SPEC]   cells to explore, SPEC = bug:nodes:seed:target
+                        (bug: baseline|c3831|c3881|c5456|c6127|race;
+                         target: real|colo|scpil — `race` is the
+                         tie-heavy preset engineered so interleaving
+                         genuinely decides convictions)
+  --budget-secs N       wall-clock budget across all cells (default 120)
+  --max-evals N         perturbation evaluations per cell (default 40)
+  --shuffles N          shuffle seeds per cell (default 8)
+  --max-swaps N         targeted-swap frontier cap per cell (default 24)
+  --witness-out FILE    write the first discovered witness as JSON
+  --table-out FILE      write the outcome table (TBL_explore format)
+";
+
+/// The smoke suite: cheap cells whose identity schedules the verdict
+/// pipeline classifies robustly — swaps and shuffles must not flip
+/// them. Budgeted tightly so CI stays fast; the assertion is "no
+/// flips", so an exhausted budget only makes the guard weaker, never
+/// flaky.
+fn smoke_cells() -> Vec<CellPlan> {
+    vec![
+        cell("baseline", 8, 1, Target::Real),
+        cell("baseline", 8, 1, Target::Colo),
+        cell("c3831", 16, 1, Target::ScPil),
+    ]
+}
+
+fn cell(bug: &str, n_nodes: usize, seed: u64, target: Target) -> CellPlan {
+    CellPlan {
+        bug: bug.to_string(),
+        n_nodes,
+        seed,
+        target,
+    }
+}
+
+fn parse_target(raw: &str) -> Result<Target, String> {
+    match raw {
+        "real" => Ok(Target::Real),
+        "colo" => Ok(Target::Colo),
+        "scpil" => Ok(Target::ScPil),
+        other => Err(format!("unknown target '{other}' (use real|colo|scpil)")),
+    }
+}
+
+fn parse_cells(raw: &str) -> Result<Vec<CellPlan>, String> {
+    raw.split(',')
+        .map(|spec| {
+            let parts: Vec<&str> = spec.trim().split(':').collect();
+            let [bug, n, seed, target] = parts.as_slice() else {
+                return Err(format!("cell '{spec}' is not bug:nodes:seed:target"));
+            };
+            let n_nodes: usize = n
+                .parse()
+                .map_err(|_| format!("cell '{spec}': bad node count '{n}'"))?;
+            let seed: u64 = seed
+                .parse()
+                .map_err(|_| format!("cell '{spec}': bad seed '{seed}'"))?;
+            Ok(CellPlan {
+                bug: bug.to_string(),
+                n_nodes,
+                seed,
+                target: parse_target(target)?,
+            })
+        })
+        .collect()
+}
+
+fn replay_witness(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read witness {path}: {e}");
+            return 1;
+        }
+    };
+    let witness = match ScheduleWitness::from_json(&text) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "replaying witness: bug={} n={} seed={} target={} swaps={} shuffle={:?}",
+        witness.bug,
+        witness.n_nodes,
+        witness.seed,
+        witness.target.name(),
+        witness.tie_order.swaps.len(),
+        witness.tie_order.shuffle,
+    );
+    let start = Instant::now();
+    let replay = witness.replay();
+    println!(
+        "baseline (real={} colo={} pil={}) -> perturbed (real={} colo={} pil={}) in {:.1}s",
+        replay.baseline.real,
+        replay.baseline.colo,
+        replay.baseline.pil,
+        replay.perturbed.real,
+        replay.perturbed.colo,
+        replay.perturbed.pil,
+        start.elapsed().as_secs_f64(),
+    );
+    let mut ok = true;
+    if replay.baseline != witness.baseline {
+        eprintln!(
+            "FAIL: baseline triple diverged (stored real={} colo={} pil={})",
+            witness.baseline.real, witness.baseline.colo, witness.baseline.pil
+        );
+        ok = false;
+    }
+    if replay.perturbed != witness.perturbed {
+        eprintln!(
+            "FAIL: perturbed triple diverged (stored real={} colo={} pil={})",
+            witness.perturbed.real, witness.perturbed.colo, witness.perturbed.pil
+        );
+        ok = false;
+    }
+    if !replay.flipped {
+        eprintln!("FAIL: witness no longer flips the verdict");
+        ok = false;
+    }
+    if replay.report_digest != witness.report_digest {
+        eprintln!(
+            "FAIL: perturbed report digest diverged ({} vs stored {})",
+            replay.report_digest, witness.report_digest
+        );
+        ok = false;
+    }
+    if ok {
+        println!("OK: verdict flip reproduced bit-identically");
+        0
+    } else {
+        1
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if has_flag(&args, "--help") || has_flag(&args, "-h") {
+        println!("{USAGE}");
+        return;
+    }
+
+    if let Some(path) = flag_value(&args, "--replay").unwrap_or_else(|e| exit_usage(USAGE, &e)) {
+        std::process::exit(replay_witness(&path));
+    }
+
+    let smoke = has_flag(&args, "--smoke");
+    let mut opts = ExploreOpts::default();
+    if let Some(b) = parse_flag::<u64>(&args, "--budget-secs").unwrap_or_else(|e| {
+        exit_usage(USAGE, &e);
+    }) {
+        opts.budget_secs = b;
+    }
+    if let Some(m) =
+        parse_flag::<usize>(&args, "--max-evals").unwrap_or_else(|e| exit_usage(USAGE, &e))
+    {
+        opts.max_evals = m;
+    }
+    if let Some(s) =
+        parse_flag::<u64>(&args, "--shuffles").unwrap_or_else(|e| exit_usage(USAGE, &e))
+    {
+        opts.shuffles = s;
+    }
+    if let Some(c) =
+        parse_flag::<usize>(&args, "--max-swaps").unwrap_or_else(|e| exit_usage(USAGE, &e))
+    {
+        opts.max_swap_candidates = c;
+    }
+    if smoke {
+        // Keep the CI stage cheap and deterministic.
+        opts.max_evals = opts.max_evals.min(6);
+        opts.shuffles = opts.shuffles.min(2);
+    }
+
+    let cells = match flag_value(&args, "--cells").unwrap_or_else(|e| exit_usage(USAGE, &e)) {
+        Some(raw) => parse_cells(&raw).unwrap_or_else(|e| exit_usage(USAGE, &e)),
+        None if smoke => smoke_cells(),
+        None => exit_usage(USAGE, "hunt mode needs --cells (or pass --smoke)"),
+    };
+
+    let start = Instant::now();
+    let deadline = start + std::time::Duration::from_secs(opts.budget_secs);
+    let mut outcomes = Vec::new();
+    for plan in &cells {
+        eprintln!(
+            "exploring {}:{}:{}:{} ...",
+            plan.bug,
+            plan.n_nodes,
+            plan.seed,
+            plan.target.name()
+        );
+        outcomes.push(explore_cell(plan, &opts, deadline));
+    }
+
+    let table = render_table(&outcomes);
+    print!("{table}");
+    println!(
+        "# {} cells, {} runs, {:.1}s",
+        outcomes.len(),
+        outcomes.iter().map(|o| o.runs).sum::<usize>(),
+        start.elapsed().as_secs_f64(),
+    );
+
+    if let Some(path) = flag_value(&args, "--table-out").unwrap_or_else(|e| exit_usage(USAGE, &e)) {
+        std::fs::write(&path, &table).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = flag_value(&args, "--witness-out").unwrap_or_else(|e| exit_usage(USAGE, &e))
+    {
+        match outcomes.iter().find_map(|o| o.witness.as_ref()) {
+            Some(w) => {
+                std::fs::write(&path, w.to_json()).unwrap_or_else(|e| {
+                    eprintln!("error: cannot write {path}: {e}");
+                    std::process::exit(1);
+                });
+                eprintln!("wrote witness {path}");
+            }
+            None => eprintln!("no witness found; {path} not written"),
+        }
+    }
+
+    let flips: usize = outcomes.iter().map(|o| o.flips_found).sum();
+    if smoke && flips > 0 {
+        eprintln!("FAIL: smoke cells must not flip (found {flips})");
+        std::process::exit(1);
+    }
+}

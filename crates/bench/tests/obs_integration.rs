@@ -76,6 +76,29 @@ fn chrome_export_of_a_real_run_is_well_formed() {
     assert_eq!(&back, trace, "embedded native trace round-trips");
 }
 
+/// Dev-profile smoke of the §6 calc-attribution claim: Colo's calc
+/// inflation is a saturation cliff — per-core load must exceed what
+/// the machine model absorbs, which at `COLO_CORES` needs 128 nodes
+/// (too heavy for the dev profile). Crossing the same cliff with a
+/// single-core Colo at N=48 keeps the mechanism (decommission
+/// recalculation saturating colocated cores) while staying cheap
+/// enough for plain `cargo test`. The analyzer must put calc on top,
+/// flagged, with gossip/net/lock below it.
+#[test]
+fn divergence_smoke_attributes_single_core_colo_to_calc() {
+    let cfg = traced("c3831", 48, 1);
+    let modes = [ExecMode::Real, ExecMode::Colo { cores: 1 }];
+    let reports = sweep(&cfg, &modes, 1);
+    let report = scalecheck_obs::diverge(&reports[0].obs, &reports[1].obs);
+    let top = report.top().expect("single-core Colo must diverge");
+    assert_eq!(
+        top.category,
+        "calc",
+        "top-ranked category must be calc:\n{}",
+        report.render()
+    );
+}
+
 /// The §6 narrative, mechanically: at C3831/N=128 the divergence
 /// analyzer must attribute Colo-vs-Real to the calc stage (not gossip
 /// or net), and must rank nothing above tolerance for SC+PIL-vs-Real.

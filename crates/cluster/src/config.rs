@@ -8,7 +8,7 @@
 //! time.
 
 use scalecheck_net::NetworkConfig;
-use scalecheck_sim::{FaultPlan, SimDuration};
+use scalecheck_sim::{FaultPlan, SimDuration, TieOrderSpec};
 use serde::{Deserialize, Serialize};
 
 /// Which historical pending-range calculator the cluster runs.
@@ -201,6 +201,22 @@ pub struct ScenarioConfig {
     /// instead of thousands of per-node daemon threads. Removes the
     /// context-switch amplification term from the shared machine.
     pub global_event_queue: bool,
+    /// Tie-order perturbation applied to the engine (identity = stock
+    /// scheduling order). Part of the serialized config, so schedule
+    /// witnesses replay from JSON and sweep cache keys distinguish
+    /// perturbed cells.
+    pub tie_order: TieOrderSpec,
+    /// Record the engine fire log and the runner's event tags into the
+    /// report's [`scalecheck_sim::ScheduleProbe`] (explorer input).
+    pub record_schedule: bool,
+    /// Ideal machine model: zero context-switch overhead on every
+    /// machine. The commodity overhead normally offsets each task
+    /// completion by a few microseconds, which *separates* causally
+    /// chained events onto distinct nanoseconds; the ideal model keeps
+    /// them on the timestamps the protocol math produces, making
+    /// exact-time collisions (and thus schedule races) far denser —
+    /// the explorer's race-prone presets rely on this.
+    pub free_ctx_switch: bool,
 }
 
 impl ScenarioConfig {
@@ -238,6 +254,9 @@ impl ScenarioConfig {
             trace_events: false,
             trace: scalecheck_obs::TraceConfig::default(),
             global_event_queue: false,
+            tie_order: TieOrderSpec::identity(),
+            record_schedule: false,
+            free_ctx_switch: false,
         }
     }
 

@@ -1,7 +1,7 @@
 //! Aggregated results of one cluster run.
 
 use scalecheck_memo::MemoStats;
-use scalecheck_sim::{EngineCounters, FaultReport, SimDuration, TimeSeries};
+use scalecheck_sim::{EngineCounters, FaultReport, ScheduleProbe, SimDuration, TimeSeries};
 use serde::{Deserialize, Serialize};
 
 use crate::calc::CalcStats;
@@ -74,6 +74,10 @@ pub struct RunReport {
     /// and metric histograms on virtual time (buffers empty unless
     /// `trace.enabled` was set; the metadata header is always stamped).
     pub obs: scalecheck_obs::Trace,
+    /// The engine fire log joined with the runner's event tags (present
+    /// only when `record_schedule` was set) — the schedule explorer's
+    /// raw material for tie-batch discovery.
+    pub schedule_probe: Option<ScheduleProbe>,
 }
 
 impl RunReport {
@@ -126,6 +130,7 @@ mod tests {
             faults: FaultReport::default(),
             trace: TraceLog::default(),
             obs: scalecheck_obs::Trace::default(),
+            schedule_probe: None,
         };
         assert!((r.flaps_k() - 2.5).abs() < 1e-9);
     }

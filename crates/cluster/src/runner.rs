@@ -26,10 +26,11 @@ use scalecheck_memo::{OrderDecision, OrderEnforcer, OrderRecorder};
 use scalecheck_net::{Addr, Network};
 use scalecheck_obs::{Metric, SpanName, ENGINE_PID, TID_CALC, TID_GOSSIP};
 use scalecheck_ring::{spread_tokens, NodeId, NodeStatus, PendingRanges, RingTable};
+use scalecheck_sim::tie::tag;
 use scalecheck_sim::{
     Acquire, Ctx, CtxSwitchModel, Engine, EngineCounters, FaultEvent, FaultReport, FiredFault,
-    HandlerId, LockId, LockTable, Machine, MachinePark, MemoryModel, SimDuration, SimTime, Stage,
-    TimeSeries,
+    HandlerId, LockId, LockTable, Machine, MachinePark, MemoryModel, ScheduleProbe, SchedulerKind,
+    SimDuration, SimTime, Stage, TagRec, TimeSeries,
 };
 
 use crate::calc::{CalcEngine, PendingWire};
@@ -102,6 +103,9 @@ pub struct ClusterState {
     fault_downtime: BTreeMap<u32, SimDuration>,
     fault_crashes: u64,
     fault_restarts: u64,
+    /// Semantic tags for scheduled events (deliveries, periodic timers),
+    /// collected only when `record_schedule` is set.
+    sched_tags: Option<Vec<TagRec>>,
 }
 
 impl ClusterState {
@@ -145,8 +149,13 @@ fn build(cfg: &ScenarioConfig, calc: CalcEngine) -> ClusterState {
     let mut machine_mem = Vec::new();
     match cfg.deployment {
         DeploymentMode::Real => {
+            let cs = if cfg.free_ctx_switch {
+                CtxSwitchModel::FREE
+            } else {
+                CtxSwitchModel::commodity()
+            };
             for _ in 0..total {
-                park.add(Machine::new(2, CtxSwitchModel::commodity()));
+                park.add(Machine::new(2, cs));
                 machine_mem.push(MemoryModel::new(cfg.memory.machine_capacity));
             }
         }
@@ -154,7 +163,9 @@ fn build(cfg: &ScenarioConfig, calc: CalcEngine) -> ClusterState {
             // §6: per-node daemon threads amplify context switching with
             // the multiprogramming level; the global-event-queue redesign
             // pays only the fixed dispatch cost.
-            let cs = if cfg.global_event_queue {
+            let cs = if cfg.free_ctx_switch {
+                CtxSwitchModel::FREE
+            } else if cfg.global_event_queue {
                 CtxSwitchModel {
                     base: scalecheck_sim::SimDuration::from_micros(5),
                     per_excess_load: scalecheck_sim::SimDuration::ZERO,
@@ -339,6 +350,11 @@ fn build(cfg: &ScenarioConfig, calc: CalcEngine) -> ClusterState {
         fault_downtime: BTreeMap::new(),
         fault_crashes: 0,
         fault_restarts: 0,
+        sched_tags: if cfg.record_schedule {
+            Some(Vec::new())
+        } else {
+            None
+        },
     }
 }
 
@@ -361,6 +377,19 @@ fn timer_payload(i: usize, epoch: u64) -> u64 {
 
 fn unpack_timer(payload: u64) -> (usize, u64) {
     ((payload & 0xffff_ffff) as usize, payload >> 32)
+}
+
+/// Tags the most recently scheduled event with `(kind, node)` when
+/// schedule recording is on. Must be called immediately after the
+/// `schedule_*` call it describes (it reads [`Ctx::last_seq`]).
+#[inline]
+fn tag_sched(st: &mut ClusterState, ctx: &Ctx<'_, ClusterState>, kind: u64, node: u32) {
+    if let Some(tags) = st.sched_tags.as_mut() {
+        tags.push(TagRec {
+            seq: ctx.last_seq(),
+            tag: tag::pack(kind, node),
+        });
+    }
 }
 
 /// Cancels a node's pending periodic timers (crash, OOM death,
@@ -411,9 +440,11 @@ fn activate(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>, i: usize, in
     let fh = st.fd_handler.expect("handlers registered before run");
     st.nodes[i].gossip_timer =
         Some(ctx.schedule_handler_after(stagger, gh, timer_payload(i, epoch)));
+    tag_sched(st, ctx, tag::GOSSIP_TIMER, i as u32);
     let fd_interval = st.cfg.fd_interval;
     st.nodes[i].fd_timer =
         Some(ctx.schedule_handler_after(stagger + fd_interval, fh, timer_payload(i, epoch)));
+    tag_sched(st, ctx, tag::FD_TIMER, i as u32);
 }
 
 fn gossip_round(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>, i: usize, epoch: u64) {
@@ -432,6 +463,7 @@ fn gossip_round(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>, i: usize
     let gh = st.gossip_handler.expect("handlers registered before run");
     st.nodes[i].gossip_timer =
         Some(ctx.schedule_handler_after(interval, gh, timer_payload(i, epoch)));
+    tag_sched(st, ctx, tag::GOSSIP_TIMER, i as u32);
 }
 
 fn fd_check(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>, i: usize, epoch: u64) {
@@ -460,6 +492,7 @@ fn fd_check(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>, i: usize, ep
     let interval = st.cfg.fd_interval;
     let fh = st.fd_handler.expect("handlers registered before run");
     st.nodes[i].fd_timer = Some(ctx.schedule_handler_after(interval, fh, timer_payload(i, epoch)));
+    tag_sched(st, ctx, tag::FD_TIMER, i as u32);
 }
 
 // ---------------------------------------------------------------------
@@ -641,6 +674,7 @@ fn run_task(
             ctx.schedule_at(done_at, move |st, ctx| {
                 finish_send_round(st, ctx, i, stage);
             });
+            tag_sched(st, ctx, tag::SEND_DONE, i as u32);
         }
         Task::Receive(env) => {
             let entries = env.msg.entries() as u64;
@@ -657,6 +691,7 @@ fn run_task(
             ctx.schedule_at(done_at, move |st, ctx| {
                 finish_receive(st, ctx, i, stage, env, holds_lock);
             });
+            tag_sched(st, ctx, tag::RECV_DONE, i as u32);
         }
         Task::Recalculate => match st.cfg.locking {
             LockingMode::SnapshotThread => {
@@ -988,8 +1023,10 @@ fn send_msg(
             st.inflight += 1;
             let dup = env.clone();
             ctx.schedule_at(dup_at, move |st, ctx| deliver(st, ctx, dup));
+            tag_sched(st, ctx, tag::DELIVER, dst.0);
         }
         ctx.schedule_at(d.deliver_at, move |st, ctx| deliver(st, ctx, env));
+        tag_sched(st, ctx, tag::DELIVER, dst.0);
     }
 }
 
@@ -1281,9 +1318,11 @@ fn restart_node(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>, i: usize
     let fh = st.fd_handler.expect("handlers registered before run");
     st.nodes[i].gossip_timer =
         Some(ctx.schedule_handler_after(SimDuration::ZERO, gh, timer_payload(i, epoch)));
+    tag_sched(st, ctx, tag::GOSSIP_TIMER, i as u32);
     let fd_interval = st.cfg.fd_interval;
     st.nodes[i].fd_timer =
         Some(ctx.schedule_handler_after(fd_interval, fh, timer_payload(i, epoch)));
+    tag_sched(st, ctx, tag::FD_TIMER, i as u32);
 }
 
 // ---------------------------------------------------------------------
@@ -1318,7 +1357,11 @@ pub fn run_scenario_with_db(
         }
     }
 
-    let mut engine: Engine<ClusterState> = Engine::new(cfg.seed);
+    let mut engine: Engine<ClusterState> =
+        Engine::with_tie_order(cfg.seed, SchedulerKind::Wheel, &cfg.tie_order);
+    if cfg.record_schedule {
+        engine.record_fires(true);
+    }
 
     // Periodic per-node timers run as handler events: the payload packs
     // (node, epoch), so steady-state rounds recur without boxing a new
@@ -1461,7 +1504,16 @@ pub fn run_scenario_with_db(
     let ended = engine.now();
 
     let tracer = scalecheck_obs::take();
-    let report = assemble_report(&state, ended, engine.counters(), tracer);
+    let probe = if cfg.record_schedule {
+        Some(ScheduleProbe {
+            fires: engine.take_fire_log(),
+            tags: state.sched_tags.take().unwrap_or_default(),
+        })
+    } else {
+        None
+    };
+    let mut report = assemble_report(&state, ended, engine.counters(), tracer);
+    report.schedule_probe = probe;
     let order_out = state.order_rec.take();
     let calc = state.calc;
     (report, calc.into_db(), order_out)
@@ -1606,6 +1658,7 @@ fn assemble_report(
         faults: assemble_fault_report(st, ended),
         trace,
         obs,
+        schedule_probe: None,
     }
 }
 

@@ -151,6 +151,7 @@ mod tests {
             faults: scalecheck_cluster::FaultReport::default(),
             trace: scalecheck_cluster::TraceLog::default(),
             obs: Default::default(),
+            schedule_probe: None,
         }
     }
 

@@ -1,0 +1,155 @@
+//! Perturbation evaluation: one identity baseline, then one targeted
+//! re-run per candidate tie-order spec.
+//!
+//! The baseline costs four scenario runs (Real, Colo, memoize, replay —
+//! the same pipeline the regression suite uses). Each perturbation then
+//! re-runs only the *target* deployment with the candidate
+//! [`TieOrderSpec`] installed; the other two flap counts are carried
+//! over from the baseline, and an SC+PIL target reuses the baseline's
+//! memo artifacts (replay is the cheap leg by construction).
+
+use scalecheck::{memoize, replay, run_colo, run_real, MemoArtifacts};
+use scalecheck_cluster::{RunReport, ScenarioConfig};
+use scalecheck_sim::{ScheduleProbe, TieOrderSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::verdict::{FlapTriple, VerdictParams};
+
+/// Which deployment the perturbation is applied to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Target {
+    /// Perturb the real-scale run (hunt orderings that make Real flap).
+    Real,
+    /// Perturb the basic-colocation run.
+    Colo,
+    /// Perturb the SC+PIL replay over the baseline memo artifacts
+    /// (hunt orderings that break replay tracking).
+    ScPil,
+}
+
+impl Target {
+    /// Stable lowercase name (table rows, witness JSON paths).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Target::Real => "real",
+            Target::Colo => "colo",
+            Target::ScPil => "scpil",
+        }
+    }
+}
+
+/// Baseline-plus-evaluator for one `(scenario, target)` cell.
+pub struct Evaluator {
+    cfg: ScenarioConfig,
+    params: VerdictParams,
+    target: Target,
+    memo: MemoArtifacts,
+    /// Identity-schedule flap triple.
+    pub baseline: FlapTriple,
+    /// Schedule probe of the baseline target run (tie batches + tags).
+    pub probe: ScheduleProbe,
+    /// Scenario runs executed so far (baseline counts four).
+    pub runs: usize,
+}
+
+impl Evaluator {
+    /// Runs the identity baseline (4 scenario runs) and records the
+    /// target run's schedule probe.
+    pub fn new(cfg: &ScenarioConfig, params: VerdictParams, target: Target) -> Self {
+        assert!(
+            cfg.tie_order.is_identity(),
+            "evaluator baseline must start from the stock schedule"
+        );
+        let mut probe_cfg = cfg.clone();
+        probe_cfg.record_schedule = true;
+
+        let real = if target == Target::Real {
+            run_real(&probe_cfg)
+        } else {
+            run_real(cfg)
+        };
+        let colo = if target == Target::Colo {
+            run_colo(&probe_cfg, params.cores)
+        } else {
+            run_colo(cfg, params.cores)
+        };
+        let memo = memoize(cfg, params.cores);
+        let pil = if target == Target::ScPil {
+            replay(&probe_cfg, params.cores, &memo)
+        } else {
+            replay(cfg, params.cores, &memo)
+        };
+
+        let probe = match target {
+            Target::Real => real.schedule_probe.clone(),
+            Target::Colo => colo.schedule_probe.clone(),
+            Target::ScPil => pil.schedule_probe.clone(),
+        }
+        .expect("probe recorded on the target baseline run");
+
+        Evaluator {
+            cfg: cfg.clone(),
+            params,
+            target,
+            memo,
+            baseline: FlapTriple {
+                real: real.total_flaps,
+                colo: colo.total_flaps,
+                pil: pil.total_flaps,
+            },
+            probe,
+            runs: 4,
+        }
+    }
+
+    /// The verdict parameters this evaluator classifies under.
+    pub fn params(&self) -> VerdictParams {
+        self.params
+    }
+
+    /// The perturbation target.
+    pub fn target(&self) -> Target {
+        self.target
+    }
+
+    /// The (identity-tie) scenario configuration.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.cfg
+    }
+
+    /// Re-runs the target deployment under `spec` and returns its full
+    /// report (one scenario run).
+    pub fn run_target(&mut self, spec: &TieOrderSpec) -> RunReport {
+        let mut cfg = self.cfg.clone();
+        cfg.tie_order = spec.clone();
+        self.runs += 1;
+        match self.target {
+            Target::Real => run_real(&cfg),
+            Target::Colo => run_colo(&cfg, self.params.cores),
+            Target::ScPil => replay(&cfg, self.params.cores, &self.memo),
+        }
+    }
+
+    /// The flap triple with the target's slot replaced by `report`.
+    pub fn triple_with(&self, report: &RunReport) -> FlapTriple {
+        let mut t = self.baseline;
+        match self.target {
+            Target::Real => t.real = report.total_flaps,
+            Target::Colo => t.colo = report.total_flaps,
+            Target::ScPil => t.pil = report.total_flaps,
+        }
+        t
+    }
+
+    /// Evaluates a spec to its flap triple (one scenario run).
+    pub fn evaluate(&mut self, spec: &TieOrderSpec) -> FlapTriple {
+        let report = self.run_target(spec);
+        self.triple_with(&report)
+    }
+
+    /// Whether `spec` flips the shape verdict relative to the baseline.
+    pub fn flips(&mut self, spec: &TieOrderSpec) -> bool {
+        let tol = self.params.tolerance;
+        self.evaluate(spec).shape(tol) != self.baseline.shape(tol)
+    }
+}

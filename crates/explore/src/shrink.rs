@@ -1,0 +1,115 @@
+//! Proptest-style greedy shrinking of a verdict-flipping swap set to a
+//! 1-minimal core.
+//!
+//! `flips` is the (expensive) predicate — one scenario run per call.
+//! The shrinker first drops chunks of geometrically decreasing size
+//! (ddmin's complement pass), then sweeps single removals to a
+//! fixpoint. The fixpoint sweep is what buys the guarantee: on return,
+//! the set still flips and removing any *single* element no longer
+//! does (verified, not assumed — the final sweep observed every
+//! one-element removal fail).
+
+use scalecheck_sim::TieSwap;
+
+/// Shrinks `initial` (which must flip) to a 1-minimal flipping subset.
+/// Returns the core and the number of predicate evaluations spent.
+pub fn shrink_swaps(
+    initial: Vec<TieSwap>,
+    flips: &mut dyn FnMut(&[TieSwap]) -> bool,
+) -> (Vec<TieSwap>, usize) {
+    let mut cur = initial;
+    let mut evals = 0usize;
+
+    // Chunked pass: cheap large bites first.
+    let mut chunk = cur.len() / 2;
+    while chunk >= 1 {
+        let mut i = 0;
+        while cur.len() > 1 && i + chunk <= cur.len() {
+            let mut cand = cur.clone();
+            cand.drain(i..i + chunk);
+            evals += 1;
+            if flips(&cand) {
+                cur = cand;
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+
+    // 1-minimality fixpoint: repeat single-removal sweeps until a full
+    // sweep removes nothing.
+    loop {
+        let mut changed = false;
+        let mut i = 0;
+        while cur.len() > 1 && i < cur.len() {
+            let mut cand = cur.clone();
+            cand.remove(i);
+            evals += 1;
+            if flips(&cand) {
+                cur = cand;
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (cur, evals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn swaps(seqs: &[u64]) -> Vec<TieSwap> {
+        seqs.iter().map(|&s| TieSwap { seq: s, shift: 1 }).collect()
+    }
+
+    /// Predicate: flips iff the set contains every seq in `core`.
+    fn superset_of<'a>(core: &'a [u64]) -> impl FnMut(&[TieSwap]) -> bool + 'a {
+        move |set| core.iter().all(|c| set.iter().any(|s| s.seq == *c))
+    }
+
+    #[test]
+    fn shrinks_to_the_exact_core() {
+        let mut pred = superset_of(&[3, 7]);
+        let (out, evals) = shrink_swaps(swaps(&[1, 2, 3, 4, 5, 6, 7, 8]), &mut pred);
+        let mut seqs: Vec<u64> = out.iter().map(|s| s.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, vec![3, 7]);
+        assert!(evals > 0);
+    }
+
+    #[test]
+    fn singleton_core_survives() {
+        let mut pred = superset_of(&[5]);
+        let (out, _) = shrink_swaps(swaps(&[5, 6, 7]), &mut pred);
+        assert_eq!(out, swaps(&[5]));
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        // A disjunctive predicate (either {1,2} or {4}) where greedy
+        // paths differ — whatever core is reached must be 1-minimal.
+        let mut pred = |set: &[TieSwap]| {
+            let has = |q: u64| set.iter().any(|s| s.seq == q);
+            (has(1) && has(2)) || has(4)
+        };
+        let (out, _) = shrink_swaps(swaps(&[1, 2, 3, 4]), &mut pred);
+        assert!(pred(&out));
+        for i in 0..out.len() {
+            let mut smaller = out.clone();
+            smaller.remove(i);
+            assert!(
+                !pred(&smaller),
+                "removing element {i} must break the flip: {out:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! The paper-shape verdict over a (Real, Colo, SC+PIL) flap triple.
+//!
+//! The regression suite (`tests/bug_regressions.rs`) pins every bug to
+//! the same Figure-3 shape: colocation manufactures flaps that Real
+//! does not exhibit, while SC+PIL tracks Real within a small absolute
+//! tolerance. The explorer's objective is a *verdict flip*: a schedule
+//! perturbation under which that shape classification changes.
+
+use serde::{Deserialize, Serialize};
+
+/// Verdict parameters: the colocation box and the tracking tolerance
+/// (defaults mirror `tests/bug_regressions.rs`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerdictParams {
+    /// Cores on the colocation box.
+    pub cores: usize,
+    /// Absolute flap slack for both shape clauses.
+    pub tolerance: u64,
+}
+
+impl Default for VerdictParams {
+    fn default() -> Self {
+        VerdictParams {
+            cores: 2,
+            tolerance: 3,
+        }
+    }
+}
+
+/// Flap counts of the three deployments for one scenario.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlapTriple {
+    /// Real-scale flaps (ground truth).
+    pub real: u64,
+    /// Basic-colocation flaps.
+    pub colo: u64,
+    /// SC+PIL replay flaps.
+    pub pil: u64,
+}
+
+/// The two-clause shape classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Shape {
+    /// Colo manufactures flaps beyond Real + tolerance.
+    pub colo_diverges: bool,
+    /// SC+PIL stays within tolerance of Real.
+    pub pil_tracks: bool,
+}
+
+impl FlapTriple {
+    /// Classifies the triple under `tolerance`.
+    pub fn shape(&self, tolerance: u64) -> Shape {
+        Shape {
+            colo_diverges: self.colo > self.real + tolerance,
+            pil_tracks: self.pil.abs_diff(self.real) <= tolerance,
+        }
+    }
+}
+
+impl Shape {
+    /// The full paper shape: both clauses hold.
+    pub fn paper(&self) -> bool {
+        self.colo_diverges && self.pil_tracks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_classifies_both_clauses() {
+        let t = FlapTriple {
+            real: 0,
+            colo: 100,
+            pil: 2,
+        };
+        let s = t.shape(3);
+        assert!(s.colo_diverges && s.pil_tracks && s.paper());
+
+        let broken_track = FlapTriple {
+            real: 0,
+            colo: 100,
+            pil: 9,
+        };
+        let s = broken_track.shape(3);
+        assert!(s.colo_diverges && !s.pil_tracks && !s.paper());
+
+        let no_diverge = FlapTriple {
+            real: 50,
+            colo: 52,
+            pil: 50,
+        };
+        let s = no_diverge.shape(3);
+        assert!(!s.colo_diverges && s.pil_tracks && !s.paper());
+    }
+
+    #[test]
+    fn tolerance_is_inclusive_for_tracking_exclusive_for_divergence() {
+        let t = FlapTriple {
+            real: 10,
+            colo: 13,
+            pil: 13,
+        };
+        let s = t.shape(3);
+        assert!(!s.colo_diverges, "colo must exceed real + tol strictly");
+        assert!(s.pil_tracks, "pil may sit exactly at the tolerance");
+    }
+}

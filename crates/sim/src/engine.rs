@@ -29,12 +29,20 @@
 //! through the engine's seeded [`DetRng`]. Both schedulers produce
 //! identical firing orders and identical RNG draw sequences — guarded
 //! by the differential suite in `tests/proptests.rs`.
+//!
+//! Tie order is a *policy*: every schedule call is assigned a tie-break
+//! key (see [`crate::tie`]), and same-timestamp events fire in ascending
+//! `(key, seq)` order. The default is the stock key (monotone in `seq`,
+//! i.e. scheduling order); [`Engine::with_tie_order`] installs a
+//! perturbing policy for schedule exploration. An engine without a
+//! policy never calls one — the identity path is branch-only.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 
 use crate::metrics::EngineCounters;
 use crate::rng::DetRng;
+use crate::tie::{identity_key, FireRec, TieOrder, TieOrderSpec};
 use crate::time::{SimDuration, SimTime};
 use crate::wheel::{EventRef, Slab, Wheel};
 
@@ -77,6 +85,7 @@ enum Payload<S> {
 
 struct HeapEv<S> {
     at: SimTime,
+    key: u64,
     seq: u64,
     id: u64,
     ev: Payload<S>,
@@ -84,7 +93,7 @@ struct HeapEv<S> {
 
 impl<S> PartialEq for HeapEv<S> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.key == other.key && self.seq == other.seq
     }
 }
 impl<S> Eq for HeapEv<S> {}
@@ -95,11 +104,12 @@ impl<S> PartialOrd for HeapEv<S> {
 }
 impl<S> Ord for HeapEv<S> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq)
-        // pops first.
+        // BinaryHeap is a max-heap; invert so the earliest
+        // (time, key, seq) pops first.
         other
             .at
             .cmp(&self.at)
+            .then_with(|| other.key.cmp(&self.key))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -133,11 +143,13 @@ struct Core<S> {
     /// Pending (uncancelled, unfired) events.
     live: usize,
     counters: EngineCounters,
+    /// Tie-order policy; `None` is the stock (scheduling-order) path.
+    tie: Option<Box<dyn TieOrder>>,
     sched: Sched<S>,
 }
 
 enum Pop<S> {
-    Fired(SimTime, Payload<S>),
+    Fired(SimTime, u64, Payload<S>),
     Deadline,
     Drained,
 }
@@ -147,6 +159,10 @@ impl<S> Core<S> {
         let at = at.max(self.now);
         self.seq += 1;
         let seq = self.seq;
+        let key = match self.tie.as_mut() {
+            None => identity_key(seq),
+            Some(p) => p.tie_key(at, seq),
+        };
         self.counters.scheduled += 1;
         self.live += 1;
         match &mut self.sched {
@@ -162,6 +178,7 @@ impl<S> Core<S> {
                 live_ids.insert(id);
                 queue.push(HeapEv {
                     at,
+                    key,
                     seq,
                     id,
                     ev: payload,
@@ -185,12 +202,18 @@ impl<S> Core<S> {
                 } else {
                     self.counters.pool_misses += 1;
                 }
-                let r = EventRef { at, seq, idx, gen };
+                let r = EventRef {
+                    at,
+                    key,
+                    seq,
+                    idx,
+                    gen,
+                };
                 if *batch_live && Wheel::tick_of(at) == *batch_tick {
                     // The event lands in the granule currently firing:
                     // splice it into the sorted batch so tie order holds.
                     let tail = &batch[*batch_pos..];
-                    let ins = tail.partition_point(|e| (e.at, e.seq) < (at, seq));
+                    let ins = tail.partition_point(|e| (e.at, e.key, e.seq) < (at, key, seq));
                     batch.insert(*batch_pos + ins, r);
                 } else {
                     wheel.insert(r);
@@ -240,7 +263,7 @@ impl<S> Core<S> {
                     Some(_) => {
                         let ev = queue.pop().expect("peeked event present");
                         live_ids.remove(&ev.id);
-                        return Pop::Fired(ev.at, ev.ev);
+                        return Pop::Fired(ev.at, ev.seq, ev.ev);
                     }
                 }
             },
@@ -259,13 +282,13 @@ impl<S> Core<S> {
                     }
                     *batch_pos += 1;
                     if let Some(p) = slab.take(r.idx, r.gen) {
-                        return Pop::Fired(r.at, p);
+                        return Pop::Fired(r.at, r.seq, p);
                     }
                     // Stale ref (cancelled event): skip.
                 }
                 match wheel.poll(Wheel::tick_of(deadline)) {
                     Some((tick, mut vec)) => {
-                        vec.sort_unstable_by_key(|e| (e.at, e.seq));
+                        vec.sort_unstable_by_key(|e| (e.at, e.key, e.seq));
                         let old = std::mem::replace(batch, vec);
                         wheel.recycle(old);
                         *batch_pos = 0;
@@ -362,6 +385,13 @@ impl<'a, S> Ctx<'a, S> {
         self.rng
     }
 
+    /// Sequence number of the most recently scheduled event. Immediately
+    /// after a `schedule_*` call this identifies that event for tie-order
+    /// perturbation targeting ([`crate::tie::TieSwap`]).
+    pub fn last_seq(&self) -> u64 {
+        self.core.seq
+    }
+
     /// Requests that the run loop stop after this event returns.
     pub fn stop(&mut self) {
         *self.stop = true;
@@ -375,12 +405,29 @@ pub struct Engine<S> {
     stop: bool,
     executed_total: u64,
     handlers: Vec<Option<HandlerFn<S>>>,
+    fire_log: Option<Vec<FireRec>>,
 }
 
 impl<S> Engine<S> {
     /// Creates a wheel-backed engine with the given RNG seed.
     pub fn new(seed: u64) -> Self {
         Self::with_scheduler(seed, SchedulerKind::Wheel)
+    }
+
+    /// Creates an engine whose same-timestamp tie order is governed by
+    /// `spec` instead of pure scheduling order. An identity spec keeps
+    /// the stock fast path (no policy object installed).
+    pub fn with_tie_order(seed: u64, kind: SchedulerKind, spec: &TieOrderSpec) -> Self {
+        let mut eng = Self::with_scheduler(seed, kind);
+        if !spec.is_identity() {
+            eng.core.tie = Some(Box::new(spec.policy()));
+        }
+        eng
+    }
+
+    /// Installs an arbitrary tie-order policy (testing hook).
+    pub fn set_tie_policy(&mut self, policy: Box<dyn TieOrder>) {
+        self.core.tie = Some(policy);
     }
 
     /// Creates an engine backed by the chosen scheduler.
@@ -407,12 +454,14 @@ impl<S> Engine<S> {
                 seq: 0,
                 live: 0,
                 counters: EngineCounters::default(),
+                tie: None,
                 sched,
             },
             rng: DetRng::new(seed),
             stop: false,
             executed_total: 0,
             handlers: Vec::new(),
+            fire_log: None,
         }
     }
 
@@ -442,6 +491,25 @@ impl<S> Engine<S> {
     /// Engine-lifetime scheduling counters.
     pub fn counters(&self) -> EngineCounters {
         self.core.counters
+    }
+
+    /// Sequence number of the most recently scheduled event.
+    pub fn last_seq(&self) -> u64 {
+        self.core.seq
+    }
+
+    /// Enables (or disables) recording of `(at, seq)` per fired event.
+    /// The log feeds [`crate::tie::ScheduleProbe::tie_groups`].
+    pub fn record_fires(&mut self, on: bool) {
+        self.fire_log = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Takes the accumulated fire log, leaving recording enabled.
+    pub fn take_fire_log(&mut self) -> Vec<FireRec> {
+        match self.fire_log.as_mut() {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
     }
 
     /// The engine's deterministic RNG (e.g. for setup-time draws).
@@ -522,12 +590,18 @@ impl<S> Engine<S> {
         let mut rate_sec = self.core.now.as_nanos() / 1_000_000_000;
         let mut rate_count = 0u64;
         let outcome = loop {
-            let (at, payload) = match self.core.pop_next(deadline) {
+            let (at, seq, payload) = match self.core.pop_next(deadline) {
                 Pop::Drained => break RunOutcome::QueueDrained,
                 Pop::Deadline => break RunOutcome::DeadlineReached,
-                Pop::Fired(at, payload) => (at, payload),
+                Pop::Fired(at, seq, payload) => (at, seq, payload),
             };
             debug_assert!(at >= self.core.now, "event queue went backwards");
+            if let Some(log) = self.fire_log.as_mut() {
+                log.push(FireRec {
+                    at: at.as_nanos(),
+                    seq,
+                });
+            }
             if tracing {
                 let sec = at.as_nanos() / 1_000_000_000;
                 if sec != rate_sec {
@@ -646,6 +720,105 @@ mod tests {
             eng.run_to_completion(&mut out);
             assert_eq!(out, (0..10).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn tie_swap_reorders_one_adjacent_pair_only() {
+        use crate::tie::TieSwap;
+        for kind in [SchedulerKind::Wheel, SchedulerKind::Heap] {
+            // Stock tie order for seqs 1..=4 is [0, 1, 2, 3]; swapping at
+            // seq 2 exchanges the events scheduled 2nd and 3rd.
+            let spec = TieOrderSpec::with_swaps(vec![TieSwap { seq: 2, shift: 1 }]);
+            let mut eng: Engine<Vec<u32>> = Engine::with_tie_order(1, kind, &spec);
+            let t = SimTime::from_secs(1);
+            for i in 0..4 {
+                eng.schedule_at(t, move |s, _| s.push(i));
+            }
+            let mut out = Vec::new();
+            eng.run_to_completion(&mut out);
+            assert_eq!(out, vec![0, 2, 1, 3]);
+        }
+    }
+
+    #[test]
+    fn zero_shift_swap_is_identity_through_the_policy_path() {
+        use crate::tie::TieSwap;
+        for kind in [SchedulerKind::Wheel, SchedulerKind::Heap] {
+            // shift == 0 keys the event between its own stock key and the
+            // next one: the permutation is identity, but the policy object
+            // is installed (the spec is not structurally identity).
+            let spec = TieOrderSpec::with_swaps(vec![TieSwap { seq: 3, shift: 0 }]);
+            assert!(!spec.is_identity());
+            let mut eng: Engine<Vec<u32>> = Engine::with_tie_order(1, kind, &spec);
+            let t = SimTime::from_secs(1);
+            for i in 0..6 {
+                eng.schedule_at(t, move |s, _| s.push(i));
+            }
+            let mut out = Vec::new();
+            eng.run_to_completion(&mut out);
+            assert_eq!(out, (0..6).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn shuffled_ties_permute_deterministically_and_only_within_ties() {
+        for kind in [SchedulerKind::Wheel, SchedulerKind::Heap] {
+            let run = |spec: &TieOrderSpec| {
+                let mut eng: Engine<Vec<u32>> = Engine::with_tie_order(1, kind, spec);
+                for i in 0..8 {
+                    eng.schedule_at(SimTime::from_secs(1), move |s, _| s.push(i));
+                }
+                // A later, untied event must stay after every tie.
+                eng.schedule_at(SimTime::from_secs(2), |s, _| s.push(99));
+                let mut out = Vec::new();
+                eng.run_to_completion(&mut out);
+                out
+            };
+            let a = run(&TieOrderSpec::shuffled(7));
+            let b = run(&TieOrderSpec::shuffled(7));
+            let c = run(&TieOrderSpec::shuffled(8));
+            assert_eq!(a, b, "same shuffle seed, same order");
+            assert_ne!(a, c, "different shuffle seed, different order");
+            assert_eq!(a[8], 99, "shuffle never crosses timestamps");
+            let mut ties: Vec<u32> = a[..8].to_vec();
+            ties.sort_unstable();
+            assert_eq!(
+                ties,
+                (0..8).collect::<Vec<_>>(),
+                "a permutation of the ties"
+            );
+        }
+    }
+
+    #[test]
+    fn fire_log_records_at_seq_in_fired_order() {
+        let mut eng: Engine<Vec<u32>> = Engine::new(1);
+        eng.record_fires(true);
+        let t = SimTime::from_secs(1);
+        eng.schedule_at(t, |s, _| s.push(0));
+        eng.schedule_at(t, |s, _| s.push(1));
+        assert_eq!(eng.last_seq(), 2);
+        eng.schedule_at(SimTime::from_secs(2), |s, _| s.push(2));
+        let mut out = Vec::new();
+        eng.run_to_completion(&mut out);
+        let log = eng.take_fire_log();
+        assert_eq!(
+            log,
+            vec![
+                FireRec {
+                    at: 1_000_000_000,
+                    seq: 1
+                },
+                FireRec {
+                    at: 1_000_000_000,
+                    seq: 2
+                },
+                FireRec {
+                    at: 2_000_000_000,
+                    seq: 3
+                },
+            ]
+        );
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod memory;
 pub mod metrics;
 pub mod rng;
 pub mod stage;
+pub mod tie;
 pub mod time;
 mod wheel;
 
@@ -58,4 +59,5 @@ pub use memory::{MemoryModel, OutOfMemory, MIB};
 pub use metrics::{Counter, EngineCounters, Histogram, TimeSeries};
 pub use rng::DetRng;
 pub use stage::Stage;
+pub use tie::{FireRec, ScheduleProbe, TagRec, TieOrder, TieOrderSpec, TieSwap};
 pub use time::{SimDuration, SimTime};

@@ -10,8 +10,8 @@
 //! Level 0 resolves single ticks; each higher level covers 64× the span
 //! of the one below, so the full `u64` nanosecond range fits. Expiring a
 //! level-0 slot yields the whole tick's batch (the engine sorts it by
-//! `(at, seq)` to preserve exact tie order); expiring a higher-level slot
-//! cascades its entries down.
+//! `(at, key, seq)` to preserve exact tie order); expiring a higher-level
+//! slot cascades its entries down.
 //!
 //! Invariant: `elapsed` (the wheel's tick cursor) never moves past an
 //! occupied slot's deadline without that slot being taken, so occupied
@@ -33,7 +33,9 @@ const SPARE_CAP: usize = 64;
 pub(crate) struct EventRef {
     /// Absolute firing time.
     pub at: SimTime,
-    /// Scheduling sequence (tie breaker).
+    /// Tie-order key (policy-assigned; identity is `seq << 1`).
+    pub key: u64,
+    /// Scheduling sequence (final tie breaker).
     pub seq: u64,
     /// Slab slot index.
     pub idx: u32,
@@ -237,6 +239,7 @@ mod tests {
     fn r(at_ns: u64, seq: u64) -> EventRef {
         EventRef {
             at: SimTime::from_nanos(at_ns),
+            key: seq << 1,
             seq,
             idx: seq as u32,
             gen: 0,
@@ -246,7 +249,7 @@ mod tests {
     fn drain_all(w: &mut Wheel) -> Vec<u64> {
         let mut out = Vec::new();
         while let Some((_, mut batch)) = w.poll(u64::MAX) {
-            batch.sort_unstable_by_key(|e| (e.at, e.seq));
+            batch.sort_unstable_by_key(|e| (e.at, e.key, e.seq));
             out.extend(batch.iter().map(|e| e.at.as_nanos()));
             w.recycle(batch);
         }

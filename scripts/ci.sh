@@ -86,6 +86,20 @@ cargo test -q --test proptests steady_state_periodic_timers_run_allocation_free
 echo "=== scale smoke (tbl_scale --smoke, 1024-node SC+PIL) ==="
 target/release/tbl_scale --smoke --budget-secs 600
 
+# Schedule exploration: the tie-order plumbing must stay inert on the
+# identity path (pinned smoke cells, zero verdict flips), and the
+# committed witness — a single targeted swap that flips the race
+# preset's verdict — must replay bit-identically from scratch.
+echo "=== schedule-explorer smoke (explore_run --smoke) ==="
+target/release/explore_run --smoke --budget-secs 120
+
+echo "=== committed schedule witness replay ==="
+target/release/explore_run --replay tests/witnesses/race_40_1_real.json
+
+echo "=== schedule-exploration suites (tie order, frontier, shrinker, witness) ==="
+cargo test -q -p scalecheck-explore
+cargo test -q -p scalecheck-cluster --test schedule
+
 echo "=== optimized-vs-naive differential properties ==="
 cargo test -q --test proptests phi_running_sum_matches_naive_resum
 cargo test -q --test proptests token_map_cache_is_transparent

@@ -12,6 +12,9 @@
 # --scale       also regenerate BENCH_scale.json / TBL_scale.txt (the
 #               256–4096-node harness-throughput sweep; the big cells
 #               take tens of minutes each on a cold cache).
+# --explore     also regenerate TBL_explore.txt (schedule-exploration
+#               outcomes: stock presets stay tick-commutative, the
+#               race preset yields shrunk single-swap witnesses).
 set -u
 cd "$(dirname "$0")/.."
 SCALES="32,64,128,256"
@@ -19,6 +22,7 @@ SCALE_SCALES="256,512,1024,2048"
 FAULT_INTENSITIES="0,0.3,0.7"
 DIVERGE=0
 SCALE=0
+EXPLORE=0
 SWEEP_FLAGS=()
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -32,7 +36,8 @@ while [ $# -gt 0 ]; do
       FAULT_INTENSITIES="$2"; shift ;;
     --diverge) DIVERGE=1 ;;
     --scale) SCALE=1 ;;
-    *) echo "unknown flag: $1" >&2; echo "usage: $0 [--quick] [--jobs N] [--no-cache] [--faults LIST] [--diverge] [--scale]" >&2; exit 2 ;;
+    --explore) EXPLORE=1 ;;
+    *) echo "unknown flag: $1" >&2; echo "usage: $0 [--quick] [--jobs N] [--no-cache] [--faults LIST] [--diverge] [--scale] [--explore]" >&2; exit 2 ;;
   esac
   shift
 done
@@ -76,5 +81,15 @@ fi
 # are expensive on a cold cache, so this is opt-in.
 if [ "$SCALE" = 1 ]; then
   run tbl_scale "$BIN/tbl_scale" --scales "$SCALE_SCALES"
+fi
+# Schedule-exploration outcomes: writes TBL_explore.txt at the repo
+# root (tracked). Deterministic: the eval cap (not the wall budget,
+# which is sized never to bind) cuts every cell, so regeneration
+# reproduces the committed table byte-for-byte.
+if [ "$EXPLORE" = 1 ]; then
+  run tbl_explore "$BIN/explore_run" \
+    --cells c3831:64:1:colo,c3881:48:1:colo,c5456:48:1:colo,race:40:1:real,race:40:2:real,race:40:3:real,race:40:4:real \
+    --max-evals 64 --max-swaps 1024 --shuffles 8 --budget-secs 1200 \
+    --table-out TBL_explore.txt
 fi
 echo "all experiments done"

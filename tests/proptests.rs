@@ -379,6 +379,62 @@ proptest! {
         prop_assert_eq!(heap_counters.pending(), 0);
     }
 
+    /// Differential tie-order property: a policy that *encodes* the
+    /// identity permutation — whether a zero-shift swap spec or a
+    /// custom policy returning the stock key — leaves a randomized
+    /// tie-heavy workload byte-identical to the policy-free engine:
+    /// same fire order, same per-event RNG draws, on both schedulers.
+    /// This is what makes perturbed-path results comparable to stock
+    /// baselines in the schedule explorer.
+    #[test]
+    fn identity_tie_policies_match_the_stock_engine(
+        // Coarse times force plenty of same-timestamp ties.
+        times in prop::collection::vec(0u64..40, 2..80),
+        seed in any::<u64>(),
+    ) {
+        use scalecheck_sim::tie::{identity_key, TieOrder, TieOrderSpec, TieSwap};
+        use scalecheck_sim::{Engine, SchedulerKind, SimTime};
+
+        struct IdentityPolicy;
+        impl TieOrder for IdentityPolicy {
+            fn tie_key(&mut self, _at: SimTime, seq: u64) -> u64 {
+                identity_key(seq)
+            }
+        }
+
+        type FireLog = Vec<(u64, u64, u64)>;
+        let run = |kind: SchedulerKind, policy: u8| -> FireLog {
+            let zero_shift = TieOrderSpec::with_swaps(
+                (0..times.len()).map(|i| TieSwap { seq: i as u64 + 1, shift: 0 }).collect(),
+            );
+            let mut engine: Engine<FireLog> = match policy {
+                0 => Engine::with_scheduler(seed, kind),
+                1 => Engine::with_tie_order(seed, kind, &zero_shift),
+                _ => {
+                    let mut e = Engine::with_scheduler(seed, kind);
+                    e.set_tie_policy(Box::new(IdentityPolicy));
+                    e
+                }
+            };
+            for (tag, &t) in times.iter().enumerate() {
+                let tag = tag as u64;
+                engine.schedule_at(SimTime::from_nanos(t), move |log: &mut FireLog, ctx| {
+                    let draw = ctx.rng().next_u64();
+                    log.push((ctx.now().as_nanos(), tag, draw));
+                });
+            }
+            let mut log = FireLog::new();
+            engine.run_to_completion(&mut log);
+            log
+        };
+
+        for kind in [SchedulerKind::Wheel, SchedulerKind::Heap] {
+            let stock = run(kind, 0);
+            prop_assert_eq!(&stock, &run(kind, 1), "zero-shift swap spec diverged");
+            prop_assert_eq!(&stock, &run(kind, 2), "identity-key policy diverged");
+        }
+    }
+
     /// Steady-state periodic handler timers recycle slab slots instead
     /// of allocating: after warm-up every schedule is a pool hit.
     #[test]
