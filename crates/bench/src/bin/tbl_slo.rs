@@ -1,0 +1,485 @@
+//! SLO table: user-visible tail latency and error budgets per bug,
+//! scale, and deployment semantics.
+//!
+//! Figure 3 measures the *operator-visible* symptom (flaps). This table
+//! re-runs the C3831 / C3881 / C5456 scenarios with the client-request
+//! datapath enabled — a million open-loop virtual users issuing
+//! QUORUM reads and writes ([`scalecheck_cluster::TrafficConfig`]) —
+//! and asks the paper's question on the *user-visible* axis instead:
+//! does colocated testing report SLO verdicts (p99.9 inflation,
+//! error-budget breach) that real-scale deployment does not, and does
+//! SC+PIL track Real? Each `(bug, N)` point yields a
+//! [`scalecheck_explore::SloTriple`] classified by
+//! [`scalecheck_explore::SloVerdict`].
+//!
+//! ```text
+//! cargo run --release -p scalecheck-bench --bin tbl_slo
+//! ```
+//!
+//! Writes `BENCH_slo.json` (schema `bench_slo/v1`) and `TBL_slo.txt`
+//! in the working directory, and prints the table.
+//!
+//! Options:
+//! * `--bugs c3831,c3881,c5456` — scenarios (default all three);
+//! * `--scales 64,128` — cluster sizes (default: one at-or-below the
+//!   paper's 100-node test scale, one past it);
+//! * `--users 1000000` — virtual users per cell;
+//! * `--seed 1` — simulation seed;
+//! * `--modes real,colo,scpil` — deployments (default all; verdicts
+//!   need all three);
+//! * `--json-out PATH` / `--table-out PATH` — artifact destinations;
+//! * `--no-write` — print only, write no artifact files;
+//! * `--smoke` — CI mode: run one 64-node Colo cell cache-free,
+//!   validate its `bench_slo/v1` row, check the request-log digest is
+//!   stable across a re-run, and fail past `--budget-secs` (default
+//!   120) of wall clock;
+//! * `--jobs N` / `--no-cache` — sweep worker/caching control.
+//!
+//! The cache key embeds the full scenario — including the arrival
+//! process — so changing the traffic shape (rate, users, consistency)
+//! re-executes cells instead of replaying stale results.
+
+use std::time::Instant;
+
+use scalecheck::{CellSpec, ExecMode, COLO_CORES};
+use scalecheck_bench::{
+    bug_scenario, exit_usage, flag_value, has_flag, parse_flag, parse_list_flag, run_sweep, Cell,
+    SweepOptions,
+};
+use scalecheck_cluster::{RunReport, ScenarioConfig, SloSummary, TrafficConfig};
+use scalecheck_explore::{SloParams, SloTriple, SloVerdict};
+
+const USAGE: &str = "usage: tbl_slo [--bugs c3831,c3881,c5456] [--scales 64,128] \
+[--users N] [--seed N] [--modes real,colo,scpil] [--json-out PATH] [--table-out PATH] \
+[--no-write] [--smoke] [--budget-secs N] [--jobs N] [--no-cache]";
+
+/// The schema tag committed artifacts carry.
+const SCHEMA: &str = "bench_slo/v1";
+
+/// Default virtual-user population per cell. The datapath is
+/// O(requests), not O(users), so a million costs the same as a
+/// thousand.
+const DEFAULT_USERS: u64 = 1_000_000;
+
+/// The swept scenario: the named bug with the open-loop traffic
+/// datapath attached.
+fn slo_scenario(bug: &str, n: usize, seed: u64, users: u64) -> ScenarioConfig {
+    bug_scenario(bug, n, seed).with_traffic(TrafficConfig::open_loop(users))
+}
+
+fn all_modes() -> [ExecMode; 3] {
+    [
+        ExecMode::Real,
+        ExecMode::Colo { cores: COLO_CORES },
+        ExecMode::ScPil {
+            cores: COLO_CORES,
+            ordered: false,
+        },
+    ]
+}
+
+/// Parses the `--modes` selector: a comma-separated subset of
+/// `real` / `colo` / `scpil`, swept in the order given.
+fn parse_modes(spec: &str) -> Result<Vec<ExecMode>, String> {
+    spec.split(',')
+        .map(|m| match m.trim().to_ascii_lowercase().as_str() {
+            "real" => Ok(ExecMode::Real),
+            "colo" => Ok(ExecMode::Colo { cores: COLO_CORES }),
+            "scpil" | "sc+pil" => Ok(ExecMode::ScPil {
+                cores: COLO_CORES,
+                ordered: false,
+            }),
+            other => Err(format!(
+                "unknown mode '{other}' (expected real, colo or scpil)"
+            )),
+        })
+        .collect()
+}
+
+/// Builds the sweep cell for one `(bug, n, mode)` point. The key is
+/// namespaced by schema and embeds the whole spec, so the arrival
+/// configuration participates in the cache key.
+fn slo_cell(bug: &str, n: usize, seed: u64, users: u64, mode: ExecMode) -> Cell<RunReport> {
+    let spec = CellSpec::new(slo_scenario(bug, n, seed, users), mode);
+    let key = serde_json::to_value(&(SCHEMA, &spec)).expect("cell key serializes");
+    Cell::new(
+        format!("slo {bug} N={n} {}", mode.label()),
+        key,
+        move || spec.run(),
+    )
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// One `bench_slo/v1` row.
+fn row_json(bug: &str, n: usize, mode_label: &str, r: &RunReport) -> serde_json::Value {
+    let s = r.traffic.slo_summary();
+    serde_json::json!({
+        "bug": bug,
+        "nodes": n,
+        "mode": mode_label,
+        "total_flaps": r.total_flaps,
+        "attempted": s.attempted,
+        "failed": r.traffic.failed,
+        "degraded": r.traffic.degraded,
+        "p50_ns": s.p50_ns,
+        "p99_ns": s.p99_ns,
+        "p999_ns": s.p999_ns,
+        "availability_permille": s.availability_permille,
+        "budget_burned_permille": s.budget_burned_permille,
+        "budget_breached": s.budget_breached,
+        "log_digest": r.traffic.log_digest,
+    })
+}
+
+/// Checks one row against the `bench_slo/v1` contract. Returns the
+/// first violation, if any.
+fn validate_row(row: &serde_json::Value) -> Result<(), String> {
+    let u64_fields = [
+        "nodes",
+        "total_flaps",
+        "attempted",
+        "failed",
+        "degraded",
+        "p50_ns",
+        "p99_ns",
+        "p999_ns",
+        "availability_permille",
+        "budget_burned_permille",
+    ];
+    for f in u64_fields {
+        row.get(f)
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| format!("row missing u64 field '{f}'"))?;
+    }
+    for f in ["bug", "mode", "log_digest"] {
+        row.get(f)
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("row missing string field '{f}'"))?;
+    }
+    let digest = row.get("log_digest").and_then(|v| v.as_str()).unwrap();
+    if digest.len() != 32 || !digest.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(format!("log_digest must be 32 hex chars, got '{digest}'"));
+    }
+    let avail = row.get("availability_permille").and_then(|v| v.as_u64());
+    if avail.is_none_or(|a| a > 1000) {
+        return Err("availability_permille must be <= 1000".to_string());
+    }
+    row.get("budget_breached")
+        .and_then(|v| v.as_bool())
+        .ok_or("row missing bool field 'budget_breached'".to_string())?;
+    Ok(())
+}
+
+/// Checks a whole document: schema tag, non-empty rows, every row
+/// well-formed, and verdict entries consistent.
+fn validate_doc(doc: &serde_json::Value) -> Result<(), String> {
+    match doc.get("schema").and_then(|v| v.as_str()) {
+        Some(SCHEMA) => {}
+        other => return Err(format!("schema tag must be '{SCHEMA}', got {other:?}")),
+    }
+    doc.get("seed")
+        .and_then(|v| v.as_u64())
+        .ok_or("document missing u64 'seed'".to_string())?;
+    doc.get("users")
+        .and_then(|v| v.as_u64())
+        .ok_or("document missing u64 'users'".to_string())?;
+    let rows = doc
+        .get("rows")
+        .and_then(|v| v.as_array())
+        .ok_or("document missing 'rows' array".to_string())?;
+    if rows.is_empty() {
+        return Err("document has zero rows".to_string());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        validate_row(row).map_err(|e| format!("row {i}: {e}"))?;
+    }
+    let verdicts = doc
+        .get("verdicts")
+        .and_then(|v| v.as_array())
+        .ok_or("document missing 'verdicts' array".to_string())?;
+    for (i, v) in verdicts.iter().enumerate() {
+        for f in ["colo_diverges", "pil_tracks", "paper"] {
+            v.get(f)
+                .and_then(|b| b.as_bool())
+                .ok_or_else(|| format!("verdict {i}: missing bool field '{f}'"))?;
+        }
+    }
+    Ok(())
+}
+
+/// One `(bug, n)` group with its three per-mode summaries.
+struct Point {
+    bug: String,
+    n: usize,
+    rows: Vec<(&'static str, RunReport)>,
+}
+
+impl Point {
+    fn summary(&self, label: &str) -> Option<SloSummary> {
+        self.rows
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, r)| r.traffic.slo_summary())
+    }
+
+    /// The SLO triple, present only when all three deployments ran.
+    fn triple(&self) -> Option<SloTriple> {
+        Some(SloTriple {
+            real: self.summary("Real")?,
+            colo: self.summary("Colo")?,
+            pil: self.summary("SC+PIL")?,
+        })
+    }
+}
+
+fn verdict_json(p: &Point, triple: &SloTriple, v: &SloVerdict) -> serde_json::Value {
+    serde_json::json!({
+        "bug": p.bug,
+        "nodes": p.n,
+        "real_p999_ns": triple.real.p999_ns,
+        "colo_p999_ns": triple.colo.p999_ns,
+        "pil_p999_ns": triple.pil.p999_ns,
+        "colo_diverges": v.colo_diverges,
+        "pil_tracks": v.pil_tracks,
+        "paper": v.paper(),
+    })
+}
+
+/// Renders the human table; also what `TBL_slo.txt` holds.
+fn render_table(seed: u64, users: u64, points: &[Point], params: &SloParams) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "SLO table — {users} open-loop users, QUORUM r/w, seed {seed}: user-visible verdicts"
+    );
+    let _ = writeln!(
+        out,
+        "p in ms; avail/burn in permille; verdict: diverge = Colo p99.9/budget departs Real,"
+    );
+    let _ = writeln!(out, "track = SC+PIL stays within the allowance of Real\n");
+    let mut buf = vec![vec![
+        "bug".to_string(),
+        "#Nodes".to_string(),
+        "mode".to_string(),
+        "flaps".to_string(),
+        "p50".to_string(),
+        "p99".to_string(),
+        "p99.9".to_string(),
+        "avail".to_string(),
+        "burn".to_string(),
+        "breach".to_string(),
+    ]];
+    for p in points {
+        for (label, r) in &p.rows {
+            let s = r.traffic.slo_summary();
+            buf.push(vec![
+                p.bug.clone(),
+                p.n.to_string(),
+                label.to_string(),
+                r.total_flaps.to_string(),
+                format!("{:.2}", ms(s.p50_ns)),
+                format!("{:.2}", ms(s.p99_ns)),
+                format!("{:.2}", ms(s.p999_ns)),
+                s.availability_permille.to_string(),
+                s.budget_burned_permille.to_string(),
+                if s.budget_breached { "YES" } else { "-" }.to_string(),
+            ]);
+        }
+    }
+    for cells in buf {
+        let line: Vec<String> = cells.iter().map(|c| format!("{c:>8}")).collect();
+        let _ = writeln!(out, "{}", line.join(" "));
+    }
+    let _ = writeln!(
+        out,
+        "\nverdicts (allowance: max({}‰ of Real p99.9, {:.1}ms), availability slack {}‰):",
+        params.p999_inflation_permille,
+        ms(params.p999_slack_ns),
+        params.availability_slack_permille,
+    );
+    for p in points {
+        let Some(t) = p.triple() else {
+            let _ = writeln!(out, "  {} N={}: (needs real+colo+scpil)", p.bug, p.n);
+            continue;
+        };
+        let v = t.verdict(params);
+        let _ = writeln!(
+            out,
+            "  {} N={:>4}: colo_diverges={:<5} pil_tracks={:<5} paper_shape={}",
+            p.bug,
+            p.n,
+            v.colo_diverges,
+            v.pil_tracks,
+            v.paper(),
+        );
+    }
+    out
+}
+
+fn smoke(seed: u64, users: u64, budget_secs: f64) -> ! {
+    // One 64-node Colo cell, always executed (never cache-served), run
+    // twice: the second run must reproduce the first's request-log
+    // digest byte-for-byte — the datapath's determinism contract on
+    // exactly the cell CI depends on.
+    let bug = "c3831";
+    let n = 64;
+    let mode = ExecMode::Colo { cores: COLO_CORES };
+    let spec = CellSpec::new(slo_scenario(bug, n, seed, users), mode);
+    eprintln!("[smoke] running {bug} N={n} {} ...", mode.label());
+    let t0 = Instant::now();
+    let report = spec.run();
+    let wall = t0.elapsed().as_secs_f64();
+    let row = row_json(bug, n, mode.label(), &report);
+    let verdicts: Vec<serde_json::Value> = Vec::new();
+    let doc = serde_json::json!({
+        "schema": SCHEMA,
+        "seed": seed,
+        "users": users,
+        "rows": [row],
+        "verdicts": verdicts,
+    });
+    if let Err(e) = validate_doc(&doc) {
+        eprintln!("[smoke] FAIL: schema violation: {e}");
+        std::process::exit(1);
+    }
+    let rerun = spec.run();
+    if rerun.traffic != report.traffic {
+        eprintln!("[smoke] FAIL: traffic report not reproducible across reruns");
+        std::process::exit(1);
+    }
+    let s = report.traffic.slo_summary();
+    println!(
+        "smoke: {bug} N={n} {} wall={wall:.2}s attempted={} p99.9={:.2}ms avail={}‰ digest={}",
+        mode.label(),
+        s.attempted,
+        ms(s.p999_ns),
+        s.availability_permille,
+        report.traffic.log_digest,
+    );
+    if s.attempted == 0 {
+        eprintln!("[smoke] FAIL: traffic datapath attempted zero requests");
+        std::process::exit(1);
+    }
+    if wall > budget_secs {
+        eprintln!("[smoke] FAIL: {wall:.2}s exceeds the {budget_secs:.0}s wall budget");
+        std::process::exit(1);
+    }
+    println!("smoke: PASS (schema ok, digest stable, within {budget_secs:.0}s budget)");
+    std::process::exit(0);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = SweepOptions::from_args(&args).unwrap_or_else(|e| exit_usage(USAGE, &e));
+    let seed: u64 = parse_flag(&args, "--seed")
+        .unwrap_or_else(|e| exit_usage(USAGE, &e))
+        .unwrap_or(1);
+    let users: u64 = parse_flag(&args, "--users")
+        .unwrap_or_else(|e| exit_usage(USAGE, &e))
+        .unwrap_or(DEFAULT_USERS);
+    let scales: Vec<usize> = parse_list_flag(&args, "--scales")
+        .unwrap_or_else(|e| exit_usage(USAGE, &e))
+        .unwrap_or_else(|| vec![64, 128]);
+    let bugs: Vec<String> = parse_list_flag(&args, "--bugs")
+        .unwrap_or_else(|e| exit_usage(USAGE, &e))
+        .unwrap_or_else(|| vec!["c3831".into(), "c3881".into(), "c5456".into()]);
+    let json_out = flag_value(&args, "--json-out")
+        .unwrap_or_else(|e| exit_usage(USAGE, &e))
+        .unwrap_or_else(|| "BENCH_slo.json".to_string());
+    let table_out = flag_value(&args, "--table-out")
+        .unwrap_or_else(|e| exit_usage(USAGE, &e))
+        .unwrap_or_else(|| "TBL_slo.txt".to_string());
+    let no_write = has_flag(&args, "--no-write");
+    let budget_secs: f64 = parse_flag(&args, "--budget-secs")
+        .unwrap_or_else(|e| exit_usage(USAGE, &e))
+        .unwrap_or(120.0);
+    let modes: Vec<ExecMode> =
+        match flag_value(&args, "--modes").unwrap_or_else(|e| exit_usage(USAGE, &e)) {
+            Some(spec) => parse_modes(&spec).unwrap_or_else(|e| exit_usage(USAGE, &e)),
+            None => all_modes().to_vec(),
+        };
+    for bug in &bugs {
+        if let Err(e) = scalecheck_bench::try_bug_scenario(bug, 8, seed) {
+            exit_usage(USAGE, &e);
+        }
+    }
+    if has_flag(&args, "--smoke") {
+        smoke(seed, users, budget_secs);
+    }
+
+    let mut cells = Vec::new();
+    for bug in &bugs {
+        for &n in &scales {
+            for &mode in &modes {
+                cells.push(slo_cell(bug, n, seed, users, mode));
+            }
+        }
+    }
+    let out = run_sweep(cells, &opts);
+
+    let mut points: Vec<Point> = Vec::new();
+    let mut idx = 0;
+    for bug in &bugs {
+        for &n in &scales {
+            let mut rows = Vec::new();
+            for mode in &modes {
+                rows.push((mode.label(), out.results[idx].clone()));
+                idx += 1;
+            }
+            points.push(Point {
+                bug: bug.clone(),
+                n,
+                rows,
+            });
+        }
+    }
+
+    let params = SloParams::default();
+    let table = render_table(seed, users, &points, &params);
+    print!("{table}");
+
+    let rows: Vec<serde_json::Value> = points
+        .iter()
+        .flat_map(|p| {
+            p.rows
+                .iter()
+                .map(|(label, r)| row_json(&p.bug, p.n, label, r))
+        })
+        .collect();
+    let verdicts: Vec<serde_json::Value> = points
+        .iter()
+        .filter_map(|p| {
+            let t = p.triple()?;
+            Some(verdict_json(p, &t, &t.verdict(&params)))
+        })
+        .collect();
+    let params_json = serde_json::to_value(&params).expect("params serialize");
+    let doc = serde_json::json!({
+        "schema": SCHEMA,
+        "seed": seed,
+        "users": users,
+        "params": params_json,
+        "rows": rows,
+        "verdicts": verdicts,
+    });
+    validate_doc(&doc).unwrap_or_else(|e| {
+        eprintln!("internal error: generated document violates {SCHEMA}: {e}");
+        std::process::exit(1);
+    });
+    if no_write {
+        return;
+    }
+    std::fs::write(&json_out, format!("{doc}\n")).unwrap_or_else(|e| {
+        eprintln!("cannot write {json_out}: {e}");
+        std::process::exit(1);
+    });
+    std::fs::write(&table_out, &table).unwrap_or_else(|e| {
+        eprintln!("cannot write {table_out}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {json_out} and {table_out}");
+}

@@ -135,6 +135,104 @@ fn fault_plans_key_the_sweep_cache_end_to_end() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+fn run_tbl_slo(dir: &PathBuf, extra: &[&str]) -> Output {
+    let mut args = vec![
+        "--bugs",
+        "c3831",
+        "--scales",
+        "8",
+        "--modes",
+        "colo",
+        "--no-write",
+    ];
+    args.extend_from_slice(extra);
+    Command::new(env!("CARGO_BIN_EXE_tbl_slo"))
+        .args(&args)
+        .current_dir(dir)
+        .output()
+        .expect("spawn tbl_slo")
+}
+
+#[test]
+fn arrival_configs_change_the_cell_digest() {
+    use scalecheck::{CellSpec, ExecMode};
+    use scalecheck_bench::sweep::digest;
+    use scalecheck_cluster::{ScenarioConfig, TrafficConfig};
+
+    let cfg = ScenarioConfig::c3831(8, 1);
+    let key = |spec: &CellSpec| digest(&serde_json::to_value(spec).expect("spec serializes"));
+
+    let quiet = CellSpec::new(
+        cfg.clone().with_traffic(TrafficConfig::open_loop(1_000)),
+        ExecMode::Real,
+    );
+    let mut loud_traffic = TrafficConfig::open_loop(1_000);
+    loud_traffic.arrival.millirate_per_user *= 10;
+    let loud = CellSpec::new(cfg.clone().with_traffic(loud_traffic), ExecMode::Real);
+    assert_ne!(
+        key(&quiet),
+        key(&loud),
+        "cells differing only in arrival rate must digest differently"
+    );
+    let quiet_again = CellSpec::new(
+        cfg.with_traffic(TrafficConfig::open_loop(1_000)),
+        ExecMode::Real,
+    );
+    assert_eq!(key(&quiet), key(&quiet_again));
+}
+
+#[test]
+fn arrival_configs_key_the_sweep_cache_end_to_end() {
+    let dir = fresh_dir("slo");
+    let cold = run_tbl_slo(&dir, &["--users", "10000"]);
+    assert!(cold.status.success(), "cold tbl_slo run failed");
+    let cold_err = String::from_utf8_lossy(&cold.stderr);
+    assert!(
+        cold_err.contains("1 executed, 0 cached"),
+        "cold slo sweep should execute its cell, got: {cold_err}"
+    );
+
+    // Identical traffic shape: served warm, byte-identical output
+    // (including the request-log digest embedded in the table).
+    let warm = run_tbl_slo(&dir, &["--users", "10000"]);
+    assert!(warm.status.success(), "warm tbl_slo run failed");
+    let warm_err = String::from_utf8_lossy(&warm.stderr);
+    assert!(
+        warm_err.contains("0 executed, 1 cached"),
+        "identical arrival config should hit the cache, got: {warm_err}"
+    );
+    assert_eq!(cold.stdout, warm.stdout);
+
+    // Same scenario, seed and mode, different offered load: the
+    // arrival config is the only difference, and the cell must miss.
+    let other = run_tbl_slo(&dir, &["--users", "20000"]);
+    assert!(other.status.success(), "changed-rate run failed");
+    let other_err = String::from_utf8_lossy(&other.stderr);
+    assert!(
+        other_err.contains("1 executed, 0 cached"),
+        "a different arrival config must not reuse cached results, got: {other_err}"
+    );
+    assert_ne!(
+        cold.stdout, other.stdout,
+        "10x the offered load must change the measured table"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn slo_sweep_is_byte_identical_across_jobs() {
+    let dir = fresh_dir("slo-jobs");
+    let serial = run_tbl_slo(&dir, &["--scales", "8,12", "--no-cache", "--jobs", "1"]);
+    assert!(serial.status.success(), "serial tbl_slo run failed");
+    let parallel = run_tbl_slo(&dir, &["--scales", "8,12", "--no-cache", "--jobs", "4"]);
+    assert!(parallel.status.success(), "parallel tbl_slo run failed");
+    assert_eq!(
+        serial.stdout, parallel.stdout,
+        "request logs and histograms must not depend on --jobs"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn bad_flag_exits_with_usage_not_panic() {
     let dir = fresh_dir("usage");

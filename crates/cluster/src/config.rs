@@ -9,7 +9,14 @@
 
 use scalecheck_net::NetworkConfig;
 use scalecheck_sim::{FaultPlan, SimDuration, TieOrderSpec};
+use scalecheck_traffic::TrafficConfig;
 use serde::{Deserialize, Serialize};
+
+/// When the first rescale action (decommission or join) fires, for
+/// workloads that rescale an already-running cluster. Bootstrap runs
+/// start rescaling at t=0. Shared by the workload scheduler and the
+/// traffic engine's phase windows.
+pub const RESCALE_FIRST_ACTION: SimDuration = SimDuration::from_secs(40);
 
 /// Which historical pending-range calculator the cluster runs.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -189,8 +196,16 @@ pub struct ScenarioConfig {
     /// serialized config, so sweep cache keys distinguish plans.
     pub faults: FaultPlan,
     /// Client availability probe (the paper's user-visible impact:
-    /// "making some data not reachable by the users").
+    /// "making some data not reachable by the users"). Legacy knob: it
+    /// is translated into an equivalent [`TrafficConfig`] unless
+    /// `traffic` below is enabled, which takes precedence.
     pub client: crate::datapath::ClientConfig,
+    /// Full client-request datapath: open-loop arrivals, consistency
+    /// levels, and SLO accounting ([`scalecheck_traffic`]). When
+    /// enabled it supersedes `client`; when off (the default) the
+    /// legacy `client` probe shape is used. Part of the serialized
+    /// config, so sweep cache keys distinguish traffic shapes.
+    pub traffic: TrafficConfig,
     /// Record a deterministic event trace (replay debugging, §7 f).
     pub trace_events: bool,
     /// Full observability tracing (spans, metrics, utilization
@@ -251,6 +266,7 @@ impl ScenarioConfig {
             network: NetworkConfig::default(),
             faults: FaultPlan::default(),
             client: crate::datapath::ClientConfig::light(),
+            traffic: TrafficConfig::OFF,
             trace_events: false,
             trace: scalecheck_obs::TraceConfig::default(),
             global_event_queue: false,
@@ -346,12 +362,75 @@ impl ScenarioConfig {
         self
     }
 
+    /// Attaches a traffic datapath, leaving everything else untouched.
+    pub fn with_traffic(mut self, traffic: TrafficConfig) -> Self {
+        self.traffic = traffic;
+        self
+    }
+
     /// Total nodes including any scale-out joiners.
     pub fn total_nodes(&self) -> usize {
         match self.workload {
             Workload::ScaleOut { count, .. } => self.n_nodes + count,
             _ => self.n_nodes,
         }
+    }
+
+    /// The traffic shape this run actually drives: the new datapath
+    /// when configured, otherwise the legacy `client` probe translated
+    /// onto it (same stream id, same 1 op/s-per-user constant rate, so
+    /// old scenarios keep their semantics).
+    pub fn effective_traffic(&self) -> TrafficConfig {
+        if self.traffic.enabled() {
+            self.traffic
+        } else {
+            TrafficConfig::from_legacy(self.client.ops_per_sec, self.client.quorum, self.rf)
+        }
+    }
+
+    /// The `[start, end]` window (offsets from t=0) during which the
+    /// cluster is rescaling: traffic applies its phase ramp inside it
+    /// and splits latency histograms around it.
+    pub fn rescale_phase_span(&self) -> (SimDuration, SimDuration) {
+        match self.workload {
+            Workload::BootstrapFromScratch => (SimDuration::ZERO, self.workload_end),
+            Workload::Decommission { .. } | Workload::ScaleOut { .. } => {
+                (RESCALE_FIRST_ACTION, self.workload_end)
+            }
+        }
+    }
+
+    /// Rejects configurations whose request semantics would silently
+    /// lie. Historically `client.quorum > rf` was clamped down to the
+    /// replica count inside the probe, *undercounting* the
+    /// acknowledgements the operator asked for; it is now a build-time
+    /// error. Called by the runner before any state is built.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rf == 0 {
+            return Err("rf must be at least 1".into());
+        }
+        if self.client.ops_per_sec > 0 && self.client.quorum > self.rf {
+            return Err(format!(
+                "client.quorum ({}) exceeds rf ({}): the probe would silently \
+                 demand fewer acknowledgements than configured",
+                self.client.quorum, self.rf
+            ));
+        }
+        if self.traffic.enabled() {
+            if self.traffic.read_permille > 1000 {
+                return Err(format!(
+                    "traffic.read_permille ({}) exceeds 1000",
+                    self.traffic.read_permille
+                ));
+            }
+            if self.traffic.arrival.tick == SimDuration::ZERO {
+                return Err("traffic.arrival.tick must be positive".into());
+            }
+            if self.traffic.sample_cap_per_tick == 0 {
+                return Err("traffic.sample_cap_per_tick must be positive".into());
+            }
+        }
+        Ok(())
     }
 }
 

@@ -1,26 +1,41 @@
-//! The client data path: quorum availability under flapping.
+//! Legacy client-probe compatibility layer.
 //!
-//! The paper's opening example ends with "many live nodes are declared
-//! as dead, making some data not reachable by the users". This module
-//! measures that user-visible impact: a background client issues
-//! quorum operations against random keys; an operation fails when the
-//! coordinator's failure detector considers too many of the key's
-//! replicas dead. Flapping therefore translates directly into
-//! unavailability.
+//! The quorum availability probe that used to live here has been folded
+//! into [`scalecheck_traffic`], which generalizes it into a full
+//! client-request datapath (open-loop arrivals, consistency levels,
+//! latency SLOs). This module keeps the old surface alive:
 //!
-//! The probe reads coordinator state only (it does not add CPU load, so
-//! it never perturbs the calibrated control-path dynamics under test);
-//! this is documented in DESIGN.md.
+//! * [`ClientConfig`] — **deprecated** configuration shape, still
+//!   accepted by [`crate::ScenarioConfig`]; the runner translates it
+//!   into an equivalent [`scalecheck_traffic::TrafficConfig`] (see
+//!   [`crate::ScenarioConfig::effective_traffic`]). Prefer configuring
+//!   `traffic` directly.
+//! * [`probe_operation`] — the single-operation quorum check, now a
+//!   thin adapter over [`scalecheck_ring::RingTable::replicas_of`]
+//!   (the replica-resolution walk previously duplicated here lives
+//!   there, shared with the traffic engine).
+//!
+//! The probe's old `quorum > rf` behavior — silently clamping the
+//! requirement down to the replica count — is gone: that combination is
+//! rejected at scenario build time by [`crate::ScenarioConfig::validate`].
 
 use scalecheck_gossip::Liveness;
 use scalecheck_ring::Token;
-use scalecheck_sim::{DetRng, SimTime, TimeSeries};
+use scalecheck_traffic::TrafficConfig;
+
 use serde::{Deserialize, Serialize};
 
 use crate::node::Node;
 use crate::ringinfo::peer_of;
 
 /// Client workload configuration.
+///
+/// **Deprecated** in favor of [`scalecheck_traffic::TrafficConfig`]
+/// (set `ScenarioConfig::traffic`); kept so existing scenario files and
+/// call sites continue to work. The runner maps it onto the traffic
+/// datapath via [`ClientConfig::to_traffic`]: `ops_per_sec` constant-
+/// rate write-only load at the consistency level implied by `quorum`,
+/// failing fast — exactly the old probe's semantics.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct ClientConfig {
     /// Cluster-wide operations per second (0 disables the probe).
@@ -44,50 +59,26 @@ impl ClientConfig {
             quorum: 2,
         }
     }
-}
 
-/// Availability accounting for one run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
-pub struct ClientStats {
-    /// Operations attempted.
-    pub attempted: u64,
-    /// Operations that could not reach a quorum of live replicas.
-    pub failed: u64,
-    /// Cumulative failure count over time.
-    pub failure_series: TimeSeries,
-}
-
-impl ClientStats {
-    /// Fraction of operations that failed (0 when none attempted).
-    pub fn unavailability(&self) -> f64 {
-        if self.attempted == 0 {
-            0.0
-        } else {
-            self.failed as f64 / self.attempted as f64
-        }
+    /// The equivalent traffic configuration at replication factor `rf`.
+    pub fn to_traffic(self, rf: usize) -> TrafficConfig {
+        TrafficConfig::from_legacy(self.ops_per_sec, self.quorum, rf)
     }
 }
 
-/// Executes one client operation against `coordinator`'s view: picks
+/// Executes one client operation against `coordinator`'s view: resolves
 /// the replicas of `key` from its ring view and checks its failure
 /// detector's verdicts. Returns whether the operation succeeds.
+///
+/// `quorum` must not exceed the ring's replication factor (enforced at
+/// config level by [`crate::ScenarioConfig::validate`]); a short ring
+/// (fewer nodes than RF) still clamps to what exists, since no setting
+/// could ever succeed there.
 pub fn probe_operation(coordinator: &Node, key: Token, quorum: usize) -> bool {
-    let map = coordinator.ring.current_token_map();
-    if map.is_empty() {
+    let mut replicas = Vec::with_capacity(coordinator.ring.rf());
+    coordinator.ring.replicas_of(key, &mut replicas);
+    if replicas.is_empty() {
         return false;
-    }
-    // First token >= key, wrapping.
-    let start = map.partition_point(|&(t, _)| t < key) % map.len();
-    let rf = coordinator.ring.rf();
-    let mut replicas = Vec::with_capacity(rf);
-    for step in 0..map.len() {
-        let (_, node) = map[(start + step) % map.len()];
-        if !replicas.contains(&node) {
-            replicas.push(node);
-            if replicas.len() == rf {
-                break;
-            }
-        }
     }
     let alive = replicas
         .iter()
@@ -99,36 +90,7 @@ pub fn probe_operation(coordinator: &Node, key: Token, quorum: usize) -> bool {
             coordinator.fd.liveness(peer_of(n)) != Some(Liveness::Dead)
         })
         .count();
-    alive >= quorum.min(replicas.len().max(1))
-}
-
-/// Issues one batch of operations from random live coordinators.
-pub fn run_probe_batch(
-    nodes: &[Node],
-    rng: &mut DetRng,
-    count: u64,
-    quorum: usize,
-    now: SimTime,
-    stats: &mut ClientStats,
-) {
-    let live: Vec<usize> = nodes
-        .iter()
-        .enumerate()
-        .filter(|(_, n)| n.active && !n.departed)
-        .map(|(i, _)| i)
-        .collect();
-    if live.is_empty() {
-        return;
-    }
-    for _ in 0..count {
-        let coordinator = &nodes[live[rng.gen_index(live.len())]];
-        let key = Token(rng.next_u64());
-        stats.attempted += 1;
-        if !probe_operation(coordinator, key, quorum) {
-            stats.failed += 1;
-        }
-    }
-    stats.failure_series.push(now, stats.failed as f64);
+    alive >= quorum.min(replicas.len())
 }
 
 #[cfg(test)]
@@ -136,7 +98,8 @@ mod tests {
     use super::*;
     use crate::ringinfo::RingInfo;
     use scalecheck_ring::{spread_tokens, NodeId};
-    use scalecheck_sim::{cpu::MachineId, SimDuration};
+    use scalecheck_sim::{cpu::MachineId, DetRng, SimDuration, SimTime};
+    use scalecheck_traffic::Consistency;
 
     fn node_with_view(n: u32) -> Node {
         let mut node = Node::new(
@@ -208,35 +171,12 @@ mod tests {
     }
 
     #[test]
-    fn batch_accounts_attempts_and_failures() {
-        let mut nodes = vec![node_with_view(8)];
-        let mut rng = DetRng::new(4);
-        let mut stats = ClientStats::default();
-        run_probe_batch(&nodes, &mut rng, 50, 2, SimTime::from_secs(1), &mut stats);
-        assert_eq!(stats.attempted, 50);
-        assert_eq!(stats.failed, 0);
-        assert_eq!(stats.unavailability(), 0.0);
-        // Now convict the world.
-        for i in 1..8 {
-            nodes[0]
-                .fd
-                .report(scalecheck_gossip::Peer(i), SimTime::from_secs(1));
-        }
-        nodes[0].fd.interpret_all(SimTime::from_secs(500));
-        run_probe_batch(&nodes, &mut rng, 50, 2, SimTime::from_secs(501), &mut stats);
-        assert!(stats.failed > 20);
-        assert!(stats.unavailability() > 0.2);
-        assert_eq!(stats.failure_series.len(), 2);
-    }
-
-    #[test]
-    fn inactive_nodes_are_not_coordinators() {
-        let mut node = node_with_view(4);
-        node.active = false;
-        let nodes = vec![node];
-        let mut rng = DetRng::new(5);
-        let mut stats = ClientStats::default();
-        run_probe_batch(&nodes, &mut rng, 10, 2, SimTime::ZERO, &mut stats);
-        assert_eq!(stats.attempted, 0);
+    fn legacy_config_translates_onto_the_traffic_datapath() {
+        let t = ClientConfig::light().to_traffic(3);
+        assert!(t.enabled());
+        assert_eq!(t.write_cl, Consistency::Quorum);
+        assert_eq!(t.read_permille, 0, "the probe was write-only");
+        assert_eq!(t.arrival.milliops_per_sec(), 50_000);
+        assert!(!ClientConfig::OFF.to_traffic(3).enabled());
     }
 }

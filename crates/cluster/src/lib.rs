@@ -46,10 +46,13 @@ pub use config::{
     AllocStrategy, CalcIo, CalcVersion, DeploymentMode, LockingMode, MemoryConfig, ScenarioConfig,
     Workload,
 };
-pub use datapath::{probe_operation, ClientConfig, ClientStats};
+pub use datapath::{probe_operation, ClientConfig};
 pub use node::{Envelope, GossipMessage, Node, Task, ViewChanges};
 pub use report::RunReport;
 pub use ringinfo::{addr_of, node_of, peer_of, RingInfo};
 pub use runner::{run_scenario, run_scenario_with_db, ClusterState, StageKind};
 pub use scalecheck_sim::{FaultEvent, FaultPlan, FaultReport, FiredFault};
+pub use scalecheck_traffic::{
+    ArrivalConfig, ArrivalProcess, Consistency, SloSummary, SloTarget, TrafficConfig, TrafficReport,
+};
 pub use trace::{TraceEvent, TraceLog};

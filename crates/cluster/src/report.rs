@@ -55,10 +55,16 @@ pub struct RunReport {
     /// Held messages force-released after the hold timeout.
     pub order_forced_releases: u64,
     /// Client quorum operations attempted by the availability probe.
+    /// Weighted totals from the traffic datapath (kept for Figure 3
+    /// compatibility; `traffic` carries the full picture).
     pub client_ops_attempted: u64,
     /// Client quorum operations that failed (no quorum of live
     /// replicas — the paper's "data not reachable by the users").
     pub client_ops_failed: u64,
+    /// The client-request datapath's full outcome: per-phase latency
+    /// histograms, error-budget accounting, and the byte-deterministic
+    /// request-log digest ([`scalecheck_traffic`]).
+    pub traffic: scalecheck_traffic::TrafficReport,
     /// Event-engine counters: schedules, fires, cancellations, and slab
     /// pool hit/miss totals for the run.
     pub engine: EngineCounters,
@@ -125,6 +131,7 @@ mod tests {
             order_forced_releases: 0,
             client_ops_attempted: 0,
             client_ops_failed: 0,
+            traffic: Default::default(),
             engine: EngineCounters::default(),
             stale_timer_fires: 0,
             faults: FaultReport::default(),

@@ -25,7 +25,7 @@ use scalecheck_gossip::Liveness;
 use scalecheck_memo::{OrderDecision, OrderEnforcer, OrderRecorder};
 use scalecheck_net::{Addr, Network};
 use scalecheck_obs::{Metric, SpanName, ENGINE_PID, TID_CALC, TID_GOSSIP};
-use scalecheck_ring::{spread_tokens, NodeId, NodeStatus, PendingRanges, RingTable};
+use scalecheck_ring::{spread_tokens, NodeId, NodeStatus, PendingRanges, RingTable, Token};
 use scalecheck_sim::tie::tag;
 use scalecheck_sim::{
     Acquire, Ctx, CtxSwitchModel, Engine, EngineCounters, FaultEvent, FaultReport, FiredFault,
@@ -78,8 +78,12 @@ pub struct ClusterState {
     /// Crash/restart cancels timers eagerly, so this stays zero; the
     /// epoch guard remains as a backstop and this counts its catches.
     stale_timer_fires: u64,
-    client_rng: scalecheck_sim::DetRng,
-    client_stats: crate::datapath::ClientStats,
+    /// The client-request datapath (open-loop arrivals, consistency
+    /// levels, SLO accounting). Pure passenger: reads coordinator
+    /// state, never writes back, owns its private RNG fork.
+    traffic: scalecheck_traffic::TrafficState,
+    /// Handler for periodic traffic ticks.
+    traffic_handler: Option<HandlerId>,
     /// Observability tracing active (full spans or the legacy event log;
     /// both feed off the thread-local [`scalecheck_obs`] tracer).
     trace_enabled: bool,
@@ -317,11 +321,15 @@ fn build(cfg: &ScenarioConfig, calc: CalcEngine) -> ClusterState {
         cfg.faults.end_time() + FAULT_SETTLE
     };
 
-    let client_rng = root_rng.fork(999_983);
+    let traffic = scalecheck_traffic::TrafficState::new(
+        cfg.effective_traffic(),
+        &root_rng,
+        cfg.network.latency,
+    );
     ClusterState {
         workload_end_at: (SimTime::ZERO + cfg.workload_end).max(fault_horizon),
-        client_rng,
-        client_stats: crate::datapath::ClientStats::default(),
+        traffic,
+        traffic_handler: None,
         trace_enabled: cfg.trace.enabled || cfg.trace_events,
         work_busy: vec![[0, 0]; total],
         busy_sampled: vec![[0, 0]; total],
@@ -1105,6 +1113,92 @@ fn flush_expired_held(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>, i:
 }
 
 // ---------------------------------------------------------------------
+// Client traffic (the user-visible datapath).
+// ---------------------------------------------------------------------
+
+/// The coordinator's-eye view the traffic engine reads each tick:
+/// immutable borrows of the node table and the network fabric. Requests
+/// resolve replicas against each coordinator's *own* ring view and its
+/// failure detector's verdicts — the paper's mechanism for turning flap
+/// storms into "data not reachable by the users".
+struct LiveView<'a> {
+    nodes: &'a [Node],
+    net: &'a Network,
+    now: SimTime,
+    scratch: std::cell::RefCell<Vec<NodeId>>,
+}
+
+impl scalecheck_traffic::ClusterView for LiveView<'_> {
+    fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn is_live_coordinator(&self, i: usize) -> bool {
+        self.nodes[i].active && !self.nodes[i].departed
+    }
+
+    fn rf(&self) -> usize {
+        self.nodes.first().map_or(0, |n| n.ring.rf())
+    }
+
+    fn replicas_of(&self, coordinator: usize, key: u64, out: &mut Vec<u32>) {
+        let mut scratch = self.scratch.borrow_mut();
+        self.nodes[coordinator]
+            .ring
+            .replicas_of(Token(key), &mut scratch);
+        out.extend(scratch.iter().map(|n| n.0));
+    }
+
+    fn replica_alive(&self, coordinator: usize, replica: u32) -> bool {
+        let coord = &self.nodes[coordinator];
+        if NodeId(replica) == coord.id {
+            return true;
+        }
+        // Unknown peers count as alive (no conviction yet).
+        coord.fd.liveness(peer_of(NodeId(replica))) != Some(Liveness::Dead)
+    }
+
+    fn link_lag(&self, src: u32, dst: u32) -> SimDuration {
+        self.net
+            .fifo_lag(self.now, addr_of(NodeId(src)), addr_of(NodeId(dst)))
+    }
+}
+
+/// One traffic tick: classify the phase, lend the traffic engine a
+/// read-only view, and rearm the timer. Exactly one engine schedule per
+/// tick on the same cadence the legacy client probe used (first fire at
+/// 700 ms, then every arrival tick), so committed schedule witnesses
+/// keep their sequence numbering.
+fn traffic_tick(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>) {
+    let now = ctx.now();
+    let (start, end) = st.cfg.rescale_phase_span();
+    let phase = if now < SimTime::ZERO + start {
+        scalecheck_traffic::Phase::Pre
+    } else if now <= SimTime::ZERO + end {
+        scalecheck_traffic::Phase::Rescale
+    } else {
+        scalecheck_traffic::Phase::Post
+    };
+    {
+        let ClusterState {
+            nodes,
+            net,
+            traffic,
+            ..
+        } = st;
+        let view = LiveView {
+            nodes,
+            net,
+            now,
+            scratch: std::cell::RefCell::new(Vec::new()),
+        };
+        traffic.tick(now, phase, &view);
+    }
+    let h = st.traffic_handler.expect("traffic handler registered");
+    ctx.schedule_handler_after(st.traffic.config().arrival.tick, h, 0);
+}
+
+// ---------------------------------------------------------------------
 // Workload scheduling.
 // ---------------------------------------------------------------------
 
@@ -1343,6 +1437,9 @@ pub fn run_scenario_with_db(
     scalecheck_memo::MemoDb<PendingWire>,
     Option<OrderRecorder>,
 ) {
+    if let Err(msg) = cfg.validate() {
+        panic!("invalid ScenarioConfig: {msg}");
+    }
     let calc = match db {
         Some(db) => CalcEngine::with_db(cfg.calculator, cfg.ns_per_op, cfg.calc_io, db),
         None => CalcEngine::new(cfg.calculator, cfg.ns_per_op, cfg.calc_io),
@@ -1378,6 +1475,11 @@ pub fn run_scenario_with_db(
             fd_check(st, ctx, i, epoch);
         }),
     );
+    state.traffic_handler = Some(engine.register_handler(
+        |st: &mut ClusterState, ctx, _payload| {
+            traffic_tick(st, ctx);
+        },
+    ));
 
     // Activate the initial population.
     let bootstrap = matches!(cfg.workload, Workload::BootstrapFromScratch);
@@ -1460,24 +1562,11 @@ pub fn run_scenario_with_db(
         );
     }
 
-    // Client availability probe (the user-visible impact of flapping).
-    fn client_tick(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>) {
-        let ops = st.cfg.client.ops_per_sec;
-        if ops > 0 {
-            let quorum = st.cfg.client.quorum;
-            crate::datapath::run_probe_batch(
-                &st.nodes,
-                &mut st.client_rng,
-                ops,
-                quorum,
-                ctx.now(),
-                &mut st.client_stats,
-            );
-        }
-        ctx.schedule_after(SimDuration::from_secs(1), client_tick);
-    }
-    if cfg.client.ops_per_sec > 0 {
-        engine.schedule_at(SimTime::from_millis(700), client_tick);
+    // Client traffic (the user-visible impact of flapping): a handler
+    // timer so steady-state ticks recur without boxing a closure.
+    if state.traffic.config().enabled() {
+        let h = state.traffic_handler.expect("registered above");
+        engine.schedule_handler_at(SimTime::from_millis(700), h, 0);
     }
 
     // Quiescence detection after the workload completes.
@@ -1651,8 +1740,9 @@ fn assemble_report(
         crashed_nodes: st.crashed,
         order_out_of_log: st.order_enf.as_ref().map_or(0, |e| e.out_of_log()),
         order_forced_releases: st.forced_releases,
-        client_ops_attempted: st.client_stats.attempted,
-        client_ops_failed: st.client_stats.failed,
+        client_ops_attempted: st.traffic.attempted(),
+        client_ops_failed: st.traffic.failed(),
+        traffic: st.traffic.report(),
         engine,
         stale_timer_fires: st.stale_timer_fires,
         faults: assemble_fault_report(st, ended),

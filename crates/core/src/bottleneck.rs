@@ -146,6 +146,7 @@ mod tests {
             order_forced_releases: 0,
             client_ops_attempted: 0,
             client_ops_failed: 0,
+            traffic: Default::default(),
             engine: scalecheck_sim::EngineCounters::default(),
             stale_timer_fires: 0,
             faults: scalecheck_cluster::FaultReport::default(),

@@ -34,5 +34,5 @@ pub use candidates::{targeted_swaps, CandidateSet};
 pub use evaluate::{Evaluator, Target};
 pub use search::{explore, explore_cell, render_table, CellOutcome, CellPlan, ExploreOpts};
 pub use shrink::shrink_swaps;
-pub use verdict::{FlapTriple, Shape, VerdictParams};
+pub use verdict::{FlapTriple, Shape, SloParams, SloTriple, SloVerdict, VerdictParams};
 pub use witness::{digest_report, scenario_for, ScheduleWitness, WitnessReplay, WITNESS_FORMAT};

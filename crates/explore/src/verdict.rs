@@ -6,6 +6,7 @@
 //! tolerance. The explorer's objective is a *verdict flip*: a schedule
 //! perturbation under which that shape classification changes.
 
+use scalecheck_cluster::SloSummary;
 use serde::{Deserialize, Serialize};
 
 /// Verdict parameters: the colocation box and the tracking tolerance
@@ -64,6 +65,95 @@ impl Shape {
     }
 }
 
+/// Parameters for the SLO-shape verdict over a (Real, Colo, SC+PIL)
+/// [`SloSummary`] triple.
+///
+/// Latency clauses are relative — colocation's CPU contention inflates
+/// the tail multiplicatively, so a fixed-ns threshold would misfire at
+/// both ends of the scale sweep — with an absolute floor (`p999_slack_ns`)
+/// so log-histogram bucket granularity near small baselines cannot flip
+/// a verdict on its own.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SloParams {
+    /// Relative p99.9 allowance in permille of Real's p99.9 (300 =
+    /// a 30 % inflation is still "tracking"; beyond it, divergence).
+    pub p999_inflation_permille: u32,
+    /// Absolute floor on the p99.9 allowance, in nanoseconds — one
+    /// log-histogram bucket at millisecond latencies.
+    pub p999_slack_ns: u64,
+    /// Availability slack in permille (5 = 0.5 % absolute).
+    pub availability_slack_permille: u32,
+}
+
+impl Default for SloParams {
+    fn default() -> Self {
+        SloParams {
+            p999_inflation_permille: 300,
+            p999_slack_ns: 2_000_000,
+            availability_slack_permille: 5,
+        }
+    }
+}
+
+/// The SLO summaries of the three deployments for one scenario.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SloTriple {
+    /// Real-scale SLO outcome (ground truth).
+    pub real: SloSummary,
+    /// Basic-colocation SLO outcome.
+    pub colo: SloSummary,
+    /// SC+PIL replay SLO outcome.
+    pub pil: SloSummary,
+}
+
+/// The user-visible analogue of [`Shape`], over tail latency and the
+/// error budget instead of flap counts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SloVerdict {
+    /// Colo inflates p99.9 beyond the allowance, loses availability
+    /// beyond the slack, or reaches a different error-budget breach
+    /// verdict than Real — a false SLO alarm (or a masked one).
+    pub colo_diverges: bool,
+    /// SC+PIL stays within the allowance of Real on every clause.
+    pub pil_tracks: bool,
+}
+
+impl SloTriple {
+    /// p99.9 allowance around `real_p999` under `params`.
+    fn allowance(real_p999: u64, params: &SloParams) -> u64 {
+        let relative = (real_p999 as u128 * params.p999_inflation_permille as u128 / 1000) as u64;
+        relative.max(params.p999_slack_ns)
+    }
+
+    /// Classifies the triple under `params`.
+    pub fn verdict(&self, params: &SloParams) -> SloVerdict {
+        let allow = Self::allowance(self.real.p999_ns, params);
+        let colo_diverges = self.colo.p999_ns > self.real.p999_ns.saturating_add(allow)
+            || self.colo.budget_breached != self.real.budget_breached
+            || self.colo.availability_permille + params.availability_slack_permille
+                < self.real.availability_permille;
+        let pil_tracks = self.pil.p999_ns.abs_diff(self.real.p999_ns) <= allow
+            && self.pil.budget_breached == self.real.budget_breached
+            && self
+                .pil
+                .availability_permille
+                .abs_diff(self.real.availability_permille)
+                <= params.availability_slack_permille;
+        SloVerdict {
+            colo_diverges,
+            pil_tracks,
+        }
+    }
+}
+
+impl SloVerdict {
+    /// The paper shape on the user-visible axis: colocation raises a
+    /// false SLO alarm that the replay pipeline does not.
+    pub fn paper(&self) -> bool {
+        self.colo_diverges && self.pil_tracks
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,5 +195,71 @@ mod tests {
         let s = t.shape(3);
         assert!(!s.colo_diverges, "colo must exceed real + tol strictly");
         assert!(s.pil_tracks, "pil may sit exactly at the tolerance");
+    }
+
+    fn summary(p999_ns: u64, availability_permille: u32, budget_breached: bool) -> SloSummary {
+        SloSummary {
+            p50_ns: p999_ns / 4,
+            p99_ns: p999_ns / 2,
+            p999_ns,
+            availability_permille,
+            budget_burned_permille: if budget_breached { 1500 } else { 100 },
+            budget_breached,
+            attempted: 1000,
+        }
+    }
+
+    #[test]
+    fn slo_verdict_flags_tail_inflation_and_breach_disagreement() {
+        let p = SloParams::default();
+        // Colo triples the tail and trips the budget; PIL hugs Real.
+        let t = SloTriple {
+            real: summary(10_000_000, 1000, false),
+            colo: summary(60_000_000, 990, true),
+            pil: summary(11_000_000, 1000, false),
+        };
+        let v = t.verdict(&p);
+        assert!(v.colo_diverges && v.pil_tracks && v.paper());
+
+        // Breach disagreement alone diverges, even with the tail inside
+        // the allowance.
+        let breach_only = SloTriple {
+            real: summary(10_000_000, 1000, false),
+            colo: summary(10_000_000, 1000, true),
+            pil: summary(10_000_000, 1000, false),
+        };
+        assert!(breach_only.verdict(&p).colo_diverges);
+
+        // Everything inside the allowance: no divergence, tracking.
+        let clean = SloTriple {
+            real: summary(10_000_000, 999, false),
+            colo: summary(12_000_000, 998, false),
+            pil: summary(10_000_000, 999, false),
+        };
+        let v = clean.verdict(&p);
+        assert!(!v.colo_diverges && v.pil_tracks && !v.paper());
+    }
+
+    #[test]
+    fn slo_allowance_has_an_absolute_floor() {
+        let p = SloParams::default();
+        // Tiny baseline: the relative band is sub-bucket, so only the
+        // absolute floor keeps histogram granularity from diverging.
+        let t = SloTriple {
+            real: summary(1_000_000, 1000, false),
+            colo: summary(2_900_000, 1000, false),
+            pil: summary(2_000_000, 1000, false),
+        };
+        let v = t.verdict(&p);
+        assert!(!v.colo_diverges, "inside the 2ms floor");
+        assert!(v.pil_tracks);
+
+        // A PIL that loses availability beyond the slack stops tracking.
+        let lossy_pil = SloTriple {
+            real: summary(10_000_000, 1000, false),
+            colo: summary(10_000_000, 1000, false),
+            pil: summary(10_000_000, 990, false),
+        };
+        assert!(!lossy_pil.verdict(&p).pil_tracks);
     }
 }

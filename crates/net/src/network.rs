@@ -164,6 +164,22 @@ impl LinkClocks {
         self.top_side = new_side;
     }
 
+    /// Read-only clock lookup: [`SimTime::ZERO`] for links that have
+    /// never carried a message. Never allocates — observation paths
+    /// (the traffic engine's FIFO-lag probe) must not change which
+    /// tiles exist, or probing would perturb memory accounting.
+    fn clock(&self, src: Addr, dst: Addr) -> SimTime {
+        let (s, d) = (src.0 as usize, dst.0 as usize);
+        let (ts, td) = (s / Self::TILE, d / Self::TILE);
+        if ts >= self.top_side || td >= self.top_side {
+            return SimTime::ZERO;
+        }
+        match &self.tiles[ts * self.top_side + td] {
+            Some(tile) => tile[(s % Self::TILE) * Self::TILE + (d % Self::TILE)],
+            None => SimTime::ZERO,
+        }
+    }
+
     #[cfg(test)]
     fn allocated_tiles(&self) -> usize {
         self.tiles.iter().filter(|t| t.is_some()).count()
@@ -384,6 +400,21 @@ impl Network {
         deliver_at
     }
 
+    /// Residual FIFO delay on the `src → dst` link at `now`: how far
+    /// the link clock sits ahead of the virtual clock because of
+    /// messages already accepted but not yet delivered. Zero on idle or
+    /// never-used links. Read-only — the traffic engine samples this to
+    /// price queued control traffic into request RTTs without mutating
+    /// the fabric.
+    pub fn fifo_lag(&self, now: SimTime, src: Addr, dst: Addr) -> SimDuration {
+        let clock = self.link_clock.clock(src, dst);
+        if clock <= now {
+            SimDuration::ZERO
+        } else {
+            clock.since(now)
+        }
+    }
+
     /// Cuts connectivity between `a` and `b` (both directions).
     pub fn partition(&mut self, a: Addr, b: Addr) {
         self.partitions.insert((a, b));
@@ -512,6 +543,38 @@ mod tests {
         for (&(src, dst), &t) in &model {
             assert_eq!(*clocks.clock_mut(src, dst), t);
         }
+    }
+
+    #[test]
+    fn fifo_lag_reads_the_queue_without_allocating() {
+        let mut n = net(0.0);
+        let mut rng = DetRng::new(1);
+        // Never-used link: zero lag, and the probe must not allocate a
+        // tile (clone the clocks' allocation census via Debug is
+        // overkill — re-probing clock() is enough because clock_mut on
+        // an empty store would have grown top_side).
+        assert_eq!(
+            n.fifo_lag(SimTime::ZERO, Addr(4000), Addr(4001)),
+            SimDuration::ZERO
+        );
+        assert_eq!(n.link_clock.top_side, 0, "probe must not allocate");
+        // Queue three messages at t=0 on one link: constant 1 ms
+        // latency puts the link clock at 1ms + 2ns.
+        for _ in 0..3 {
+            n.send(SimTime::ZERO, &mut rng, Addr(1), Addr(2)).unwrap();
+        }
+        let lag = n.fifo_lag(SimTime::ZERO, Addr(1), Addr(2));
+        assert!(lag >= SimDuration::from_millis(1), "lag {lag:?}");
+        // The reverse direction is independent and idle.
+        assert_eq!(
+            n.fifo_lag(SimTime::ZERO, Addr(2), Addr(1)),
+            SimDuration::ZERO
+        );
+        // Once the clock has drained past `now`, lag is zero again.
+        assert_eq!(
+            n.fifo_lag(SimTime::from_secs(1), Addr(1), Addr(2)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -53,9 +53,20 @@ impl LogHistogram {
     /// Records one sample.
     #[inline]
     pub fn record(&mut self, v: u64) {
-        self.buckets[Self::bucket_of(v)] += 1;
-        self.count += 1;
-        self.sum = self.sum.saturating_add(v);
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` identical samples in O(1) — the weighted-record path
+    /// the traffic engine uses to book a million offered requests
+    /// through a bounded sample budget.
+    #[inline]
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[Self::bucket_of(v)] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(v.saturating_mul(n));
         self.max = self.max.max(v);
     }
 
@@ -67,10 +78,17 @@ impl LogHistogram {
     /// Approximate percentile: the inclusive upper bound of the bucket
     /// containing the `p`-th percentile sample (`p` in 0..=100).
     pub fn percentile(&self, p: u8) -> u64 {
+        self.quantile_permille(p as u32 * 10)
+    }
+
+    /// Approximate quantile at permille resolution (`p` in 0..=1000),
+    /// fine enough for p99.9: the inclusive upper bound of the bucket
+    /// containing the `p`-permille sample.
+    pub fn quantile_permille(&self, p: u32) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let rank = (self.count.saturating_mul(p as u64)).div_ceil(100).max(1);
+        let rank = ((self.count as u128 * p.min(1000) as u128).div_ceil(1000) as u64).max(1);
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
@@ -134,6 +152,31 @@ mod tests {
         // p100 lands in the big bucket.
         assert!(h.percentile(100) >= 1_000_000);
         assert_eq!(LogHistogram::new().percentile(99), 0);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for _ in 0..1000 {
+            a.record(7);
+        }
+        b.record_n(7, 1000);
+        assert_eq!(a, b);
+        b.record_n(9, 0);
+        assert_eq!(a, b, "zero-weight records are no-ops");
+    }
+
+    #[test]
+    fn quantile_permille_resolves_the_tail() {
+        let mut h = LogHistogram::new();
+        h.record_n(10, 9_985);
+        h.record_n(1_000_000, 15);
+        // p99 still sits in the bulk; p99.9 must see the outliers.
+        assert_eq!(h.quantile_permille(990), 15);
+        assert!(h.quantile_permille(999) >= 1_000_000);
+        assert_eq!(h.percentile(99), h.quantile_permille(990));
+        assert_eq!(LogHistogram::new().quantile_permille(999), 0);
     }
 
     #[test]

@@ -115,10 +115,14 @@ pub enum Metric {
     GossipDeltas = 7,
     /// Network delivery delay offered per message (ns).
     NetDelay = 8,
+    /// End-to-end client request latency (ns), traffic datapath.
+    RequestLatency = 9,
+    /// Coordinator-to-replica round trip (ns), traffic datapath.
+    ReplicaRtt = 10,
 }
 
 /// Number of [`Metric`] variants; traces always carry all of them.
-pub const METRIC_COUNT: usize = 9;
+pub const METRIC_COUNT: usize = 11;
 
 impl Metric {
     /// All metrics in discriminant order.
@@ -132,6 +136,8 @@ impl Metric {
         Metric::CalcOps,
         Metric::GossipDeltas,
         Metric::NetDelay,
+        Metric::RequestLatency,
+        Metric::ReplicaRtt,
     ];
 
     /// Short display name.
@@ -146,6 +152,8 @@ impl Metric {
             Metric::CalcOps => "calc_ops",
             Metric::GossipDeltas => "gossip_deltas",
             Metric::NetDelay => "net_delay_ns",
+            Metric::RequestLatency => "request_latency_ns",
+            Metric::ReplicaRtt => "replica_rtt_ns",
         }
     }
 }

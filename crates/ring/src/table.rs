@@ -262,6 +262,32 @@ impl RingTable {
         map
     }
 
+    /// Resolves the replica set of `key`: walks the current token map
+    /// clockwise from the first token at or after `key` (wrapping),
+    /// collecting up to `rf` *distinct* nodes into `out` in preference
+    /// order. `out` is cleared first; it stays empty when the ring has
+    /// no current owners. This is the single replica-resolution walk —
+    /// the client datapath and the traffic engine both route through
+    /// it.
+    pub fn replicas_of(&self, key: Token, out: &mut Vec<NodeId>) {
+        out.clear();
+        let map = self.current_token_map();
+        if map.is_empty() {
+            return;
+        }
+        // First token >= key, wrapping.
+        let start = map.partition_point(|&(t, _)| t < key) % map.len();
+        for step in 0..map.len() {
+            let (_, node) = map[(start + step) % map.len()];
+            if !out.contains(&node) {
+                out.push(node);
+                if out.len() == self.rf {
+                    break;
+                }
+            }
+        }
+    }
+
     /// The sorted `(token, node)` map after applying `changes` on top of
     /// the current owners: joins add tokens, leaves remove the node's
     /// tokens.
@@ -363,6 +389,35 @@ mod tests {
         let t = r.node(NodeId(2)).unwrap().tokens[0];
         assert_eq!(r.owner_of_token(t), Some(NodeId(2)));
         assert_eq!(r.owner_of_token(Token(1)), None);
+    }
+
+    #[test]
+    fn replicas_walk_clockwise_and_dedupe() {
+        let r = ring_of(8, 4);
+        let mut out = Vec::new();
+        r.replicas_of(Token(0), &mut out);
+        assert_eq!(out.len(), 3, "rf distinct replicas on a healthy ring");
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), out.len(), "replicas are distinct");
+        // The walk starts at the first token >= key.
+        let map = r.current_token_map();
+        assert_eq!(out[0], map[0].1);
+        // Wrapping: a key past the last token resolves to the ring head.
+        let mut wrapped = Vec::new();
+        r.replicas_of(Token(u64::MAX), &mut wrapped);
+        assert_eq!(wrapped.len(), 3);
+        // Fewer nodes than RF yields every node, not a panic.
+        let small = ring_of(2, 4);
+        let mut few = Vec::new();
+        small.replicas_of(Token(7), &mut few);
+        assert_eq!(few.len(), 2);
+        // An empty ring yields no replicas.
+        let empty = RingTable::new(3);
+        let mut none = vec![NodeId(9)];
+        empty.replicas_of(Token(7), &mut none);
+        assert!(none.is_empty());
     }
 
     #[test]

@@ -171,7 +171,7 @@ impl Counter {
 }
 
 /// A timestamped series of float samples (e.g. flap counts over time).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct TimeSeries {
     points: Vec<(SimTime, f64)>,
 }

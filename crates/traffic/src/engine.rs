@@ -1,0 +1,610 @@
+//! The request engine: ticks batches of virtual-user requests through
+//! coordinator routing, consistency levels, and the SLO accountant.
+//!
+//! The engine is a *passenger* on the simulation: each tick it reads
+//! the cluster through the [`ClusterView`] trait — ring ownership,
+//! failure-detector liveness, link FIFO residuals — and never writes
+//! anything back. All of its randomness comes from one private
+//! [`DetRng`] fork, so enabling traffic cannot perturb control-path
+//! dynamics, and two runs of the same (config, plan, seed) produce the
+//! same request log digest byte for byte.
+
+use scalecheck_net::LatencyModel;
+use scalecheck_obs::{metric, LogHistogram, Metric};
+use scalecheck_sim::{DetRng, SimDuration, SimTime, TimeSeries};
+use serde::{Deserialize, Serialize};
+
+use crate::arrival::{ArrivalConfig, ArrivalGen, ArrivalProcess};
+use crate::consistency::{Consistency, CostModel, Degradation, OpKind};
+use crate::report::{LogDigest, Outcome, PhaseHist, RequestRecord, TrafficReport};
+use crate::slo::{ErrorBudget, SloTarget};
+
+/// RNG stream id for the traffic fork — the same stream the legacy
+/// client probe used, so runs keep their seeds comparable.
+pub const TRAFFIC_RNG_STREAM: u64 = 999_983;
+
+/// Where the run is relative to its rescale window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Before any topology change begins.
+    Pre,
+    /// Inside the bootstrap/decommission window (phase ramp applies).
+    Rescale,
+    /// After the last rescale action has fired.
+    Post,
+}
+
+impl Phase {
+    /// All phases, histogram-index order.
+    pub const ALL: [Phase; 3] = [Phase::Pre, Phase::Rescale, Phase::Post];
+
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Pre => "pre",
+            Phase::Rescale => "rescale",
+            Phase::Post => "post",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Pre => 0,
+            Phase::Rescale => 1,
+            Phase::Post => 2,
+        }
+    }
+}
+
+/// What the traffic engine reads from the cluster each tick. The
+/// cluster runner implements this over its live node table, ring
+/// snapshot, and network; tests implement it over toy fixtures.
+pub trait ClusterView {
+    /// Total machines (live or not) that could coordinate requests.
+    fn node_count(&self) -> usize;
+    /// Whether node `i` is up and can act as a coordinator.
+    fn is_live_coordinator(&self, i: usize) -> bool;
+    /// Replication factor requests are written at.
+    fn rf(&self) -> usize;
+    /// Resolves `key`'s replica set *as `coordinator` sees the ring*,
+    /// appending up to `rf` distinct node ids into `out`.
+    fn replicas_of(&self, coordinator: usize, key: u64, out: &mut Vec<u32>);
+    /// Whether `coordinator`'s failure detector considers `replica`
+    /// alive. The coordinator's *view* — not ground truth — is what
+    /// turns flap storms into user-visible damage.
+    fn replica_alive(&self, coordinator: usize, replica: u32) -> bool;
+    /// Residual FIFO delay on the `src → dst` link right now: how far
+    /// the link clock is ahead of the virtual clock because of queued
+    /// control traffic. Read-only.
+    fn link_lag(&self, src: u32, dst: u32) -> SimDuration;
+}
+
+/// Full shape of one cell's offered load and objectives.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrafficConfig {
+    /// Arrival process (users, rates, ramp, tick).
+    pub arrival: ArrivalConfig,
+    /// Consistency level for reads.
+    pub read_cl: Consistency,
+    /// Consistency level for writes.
+    pub write_cl: Consistency,
+    /// Fraction of requests that are reads, in permille.
+    pub read_permille: u32,
+    /// Replica service times and the client timeout.
+    pub cost: CostModel,
+    /// What a coordinator does when the quorum is short.
+    pub degradation: Degradation,
+    /// The SLO the run is held to.
+    pub slo: SloTarget,
+    /// Max representative requests simulated per tick; offered load
+    /// beyond it rides along as integer weights. This is the
+    /// O(requests)-not-O(users) knob.
+    pub sample_cap_per_tick: u32,
+    /// Max request records kept verbatim in the report.
+    pub log_sample_cap: u32,
+}
+
+impl TrafficConfig {
+    /// No traffic at all.
+    pub const OFF: TrafficConfig = TrafficConfig {
+        arrival: ArrivalConfig::OFF,
+        read_cl: Consistency::Quorum,
+        write_cl: Consistency::Quorum,
+        read_permille: 500,
+        cost: CostModel {
+            read_service: SimDuration::from_micros(350),
+            write_service: SimDuration::from_micros(150),
+            timeout: SimDuration::from_secs(2),
+        },
+        degradation: Degradation::FailFast,
+        slo: SloTarget {
+            latency_target: SimDuration::from_millis(100),
+            availability_floor_permille: 999,
+        },
+        sample_cap_per_tick: 64,
+        log_sample_cap: 32,
+    };
+
+    /// Whether any load will be offered.
+    pub fn enabled(&self) -> bool {
+        !self.arrival.is_off()
+    }
+
+    /// The legacy quorum-probe shape: `ops_per_sec` constant-rate
+    /// writes at a fixed acknowledgement count, failing fast. Keeps old
+    /// `ClientConfig { ops_per_sec, quorum }` scenarios running on the
+    /// new datapath with equivalent semantics.
+    pub fn from_legacy(ops_per_sec: u64, quorum: usize, rf: usize) -> TrafficConfig {
+        let write_cl = if quorum <= 1 {
+            Consistency::One
+        } else if quorum >= rf.max(1) {
+            Consistency::All
+        } else {
+            Consistency::Quorum
+        };
+        TrafficConfig {
+            arrival: ArrivalConfig {
+                users: ops_per_sec,
+                millirate_per_user: 1000,
+                process: ArrivalProcess::Constant,
+                rescale_ramp_permille: 1000,
+                tick: SimDuration::from_secs(1),
+            },
+            read_cl: write_cl,
+            write_cl,
+            read_permille: 0,
+            ..TrafficConfig::OFF
+        }
+    }
+
+    /// A production-shaped open loop: `users` virtual users at one
+    /// op/s each, Poisson batches, a 1.5x reconnect stampede during the
+    /// rescale window, quorum reads+writes, and hinted-handoff
+    /// degradation. The config `tbl_slo` sweeps.
+    pub fn open_loop(users: u64) -> TrafficConfig {
+        TrafficConfig {
+            arrival: ArrivalConfig {
+                users,
+                millirate_per_user: 1000,
+                process: ArrivalProcess::Poisson,
+                rescale_ramp_permille: 1500,
+                tick: SimDuration::from_secs(1),
+            },
+            read_permille: 500,
+            degradation: Degradation::HintedRetry {
+                max_retries: 3,
+                backoff: SimDuration::from_millis(50),
+            },
+            ..TrafficConfig::OFF
+        }
+    }
+}
+
+/// Live per-run traffic state: O(1) in the user population.
+#[derive(Clone, Debug)]
+pub struct TrafficState {
+    cfg: TrafficConfig,
+    latency: LatencyModel,
+    rng: DetRng,
+    arrivals: ArrivalGen,
+    /// Phase-major (phase × kind) latency histograms.
+    hists: Vec<LogHistogram>,
+    budget: ErrorBudget,
+    failure_series: TimeSeries,
+    attempted: u64,
+    failed: u64,
+    degraded: u64,
+    samples: u64,
+    digest: LogDigest,
+    log_sample: Vec<RequestRecord>,
+    scratch_replicas: Vec<u32>,
+    scratch_rtts: Vec<u64>,
+    scratch_live: Vec<u32>,
+    peak_bytes: u64,
+}
+
+impl TrafficState {
+    /// Builds traffic state from the run's root RNG (forks the
+    /// dedicated stream) and the scenario's link latency model.
+    pub fn new(cfg: TrafficConfig, root_rng: &DetRng, latency: LatencyModel) -> TrafficState {
+        let mut st = TrafficState {
+            cfg,
+            latency,
+            rng: root_rng.fork(TRAFFIC_RNG_STREAM),
+            arrivals: ArrivalGen::default(),
+            hists: vec![LogHistogram::new(); Phase::ALL.len() * 2],
+            budget: ErrorBudget::default(),
+            failure_series: TimeSeries::new(),
+            attempted: 0,
+            failed: 0,
+            degraded: 0,
+            samples: 0,
+            digest: LogDigest::default(),
+            log_sample: Vec::new(),
+            scratch_replicas: Vec::new(),
+            scratch_rtts: Vec::new(),
+            scratch_live: Vec::new(),
+            peak_bytes: 0,
+        };
+        st.peak_bytes = st.tracked_bytes();
+        st
+    }
+
+    /// The configuration this state runs under.
+    pub fn config(&self) -> &TrafficConfig {
+        &self.cfg
+    }
+
+    /// Weighted requests that have failed so far.
+    pub fn failed(&self) -> u64 {
+        self.failed
+    }
+
+    /// Weighted requests offered so far.
+    pub fn attempted(&self) -> u64 {
+        self.attempted
+    }
+
+    /// Current tracked footprint in bytes: struct plus every owned
+    /// buffer's *capacity*. Tests pin this against the user count to
+    /// enforce the O(requests) memory contract.
+    pub fn tracked_bytes(&self) -> u64 {
+        let hists: usize = self
+            .hists
+            .iter()
+            .map(|h| h.buckets.capacity() * size_of::<u64>())
+            .sum();
+        (size_of::<Self>()
+            + hists
+            + self.log_sample.capacity() * size_of::<RequestRecord>()
+            + self.failure_series.len() * size_of::<(SimTime, f64)>()
+            + (self.scratch_replicas.capacity() + self.scratch_live.capacity()) * size_of::<u32>()
+            + self.scratch_rtts.capacity() * size_of::<u64>()) as u64
+    }
+
+    /// Runs one arrival tick at virtual time `now`: draws the offered
+    /// batch, simulates up to `sample_cap_per_tick` representative
+    /// requests against the coordinator's view, and books the rest as
+    /// weights. Read-only against `view`.
+    pub fn tick<V: ClusterView>(&mut self, now: SimTime, phase: Phase, view: &V) {
+        let ramp = if phase == Phase::Rescale {
+            self.cfg.arrival.rescale_ramp_permille
+        } else {
+            1000
+        };
+        let offered = self
+            .arrivals
+            .offered(&self.cfg.arrival, ramp, &mut self.rng);
+        if offered > 0 {
+            self.scratch_live.clear();
+            for i in 0..view.node_count() {
+                if view.is_live_coordinator(i) {
+                    self.scratch_live.push(i as u32);
+                }
+            }
+            let n_samples = offered.min(self.cfg.sample_cap_per_tick.max(1) as u64);
+            let base = offered / n_samples;
+            let extra = offered % n_samples;
+            for s in 0..n_samples {
+                let weight = base + u64::from(s < extra);
+                self.one_request(now, phase, view, weight);
+            }
+        }
+        self.failure_series.push(now, self.failed as f64);
+        self.peak_bytes = self.peak_bytes.max(self.tracked_bytes());
+    }
+
+    fn one_request<V: ClusterView>(&mut self, now: SimTime, phase: Phase, view: &V, weight: u64) {
+        let key = self.rng.next_u64();
+        let kind = if self.rng.gen_range(1000) < self.cfg.read_permille as u64 {
+            OpKind::Read
+        } else {
+            OpKind::Write
+        };
+        let (outcome, latency, coordinator) = if self.scratch_live.is_empty() {
+            // Nobody can even coordinate: every request times out.
+            (Outcome::Failed, self.cfg.cost.timeout, u32::MAX)
+        } else {
+            let coord = self.scratch_live[self.rng.gen_index(self.scratch_live.len())];
+            let (outcome, latency) = self.route(view, coord, key, kind);
+            (outcome, latency, coord)
+        };
+        let latency_ns = latency.as_nanos();
+        self.hists[phase.index() * 2 + (kind == OpKind::Write) as usize]
+            .record_n(latency_ns, weight);
+        self.budget
+            .account(&self.cfg.slo, outcome != Outcome::Failed, latency, weight);
+        self.attempted = self.attempted.saturating_add(weight);
+        match outcome {
+            Outcome::Failed => self.failed = self.failed.saturating_add(weight),
+            Outcome::Degraded => self.degraded = self.degraded.saturating_add(weight),
+            Outcome::Ok => {}
+        }
+        self.samples += 1;
+        metric(Metric::RequestLatency, latency_ns);
+        let record = RequestRecord {
+            at_ns: now.as_nanos(),
+            coordinator,
+            key,
+            kind,
+            outcome,
+            latency_ns,
+            weight,
+        };
+        self.digest.push(&record);
+        if self.log_sample.len() < self.cfg.log_sample_cap as usize {
+            self.log_sample.push(record);
+        }
+    }
+
+    /// Routes one request through `coord` to its replica set and
+    /// completes it under the kind's consistency level.
+    fn route<V: ClusterView>(
+        &mut self,
+        view: &V,
+        coord: u32,
+        key: u64,
+        kind: OpKind,
+    ) -> (Outcome, SimDuration) {
+        let cl = match kind {
+            OpKind::Read => self.cfg.read_cl,
+            OpKind::Write => self.cfg.write_cl,
+        };
+        self.scratch_replicas.clear();
+        view.replicas_of(coord as usize, key, &mut self.scratch_replicas);
+        // A ring smaller than RF yields fewer replicas; the level can
+        // only require what exists (quorum > RF is a config error,
+        // rejected upstream at scenario-build time).
+        let required = cl.required(self.scratch_replicas.len());
+        self.scratch_rtts.clear();
+        let mut live = 0usize;
+        let mut worst_live = 0u64;
+        for i in 0..self.scratch_replicas.len() {
+            let replica = self.scratch_replicas[i];
+            // Round trip: two one-way latency draws plus whatever the
+            // control plane has queued on both directions of the link.
+            // The coordinator replying to itself skips the network.
+            let rtt = if replica == coord {
+                0
+            } else {
+                (self.latency.sample(&mut self.rng)
+                    + self.latency.sample(&mut self.rng)
+                    + view.link_lag(coord, replica)
+                    + view.link_lag(replica, coord))
+                .as_nanos()
+            };
+            metric(Metric::ReplicaRtt, rtt);
+            if view.replica_alive(coord as usize, replica) {
+                self.scratch_rtts.push(rtt);
+                live += 1;
+                worst_live = worst_live.max(rtt);
+            }
+        }
+        let service = self.cfg.cost.service(kind);
+        if live >= required && required > 0 {
+            // Wait for the k-th fastest live acknowledgement.
+            self.scratch_rtts.sort_unstable();
+            let kth = self.scratch_rtts[required - 1];
+            return (Outcome::Ok, service + SimDuration::from_nanos(kth));
+        }
+        // Quorum short in this coordinator's view: degrade or fail.
+        let deficit = (required.saturating_sub(live)).min(u32::MAX as usize) as u32;
+        let backoff = self.cfg.degradation.backoff_total(deficit);
+        match self.cfg.degradation {
+            Degradation::FailFast => (Outcome::Failed, self.cfg.cost.timeout),
+            Degradation::HintedRetry { .. } => {
+                if kind == OpKind::Write && live > 0 {
+                    // The write lands on the live replicas and the rest
+                    // ride hints; the client sees the backoff ladder.
+                    (
+                        Outcome::Degraded,
+                        service + SimDuration::from_nanos(worst_live) + backoff,
+                    )
+                } else {
+                    // Reads cannot be hinted: burn the ladder and fail.
+                    (Outcome::Failed, self.cfg.cost.timeout + backoff)
+                }
+            }
+        }
+    }
+
+    /// Freezes the run's traffic into its serialized report.
+    pub fn report(&self) -> TrafficReport {
+        let mut hists = Vec::with_capacity(self.hists.len());
+        for (pi, phase) in Phase::ALL.iter().enumerate() {
+            for (ki, kind) in [OpKind::Read, OpKind::Write].iter().enumerate() {
+                hists.push(PhaseHist {
+                    label: format!("{}/{}", phase.name(), kind.name()),
+                    hist: self.hists[pi * 2 + ki].clone(),
+                });
+            }
+        }
+        TrafficReport {
+            enabled: self.cfg.enabled(),
+            attempted: self.attempted,
+            failed: self.failed,
+            degraded: self.degraded,
+            samples: self.samples,
+            hists,
+            failure_series: self.failure_series.clone(),
+            budget: self.budget.clone(),
+            target: self.cfg.slo,
+            log_digest: self.digest.hex(),
+            log_sample: self.log_sample.clone(),
+            state_peak_bytes: self.peak_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy cluster: `n` nodes on a mod ring at RF 3, with an
+    /// explicit down-set and a per-link lag.
+    struct ToyView {
+        n: usize,
+        down: Vec<u32>,
+        lag: SimDuration,
+    }
+
+    impl ToyView {
+        fn healthy(n: usize) -> ToyView {
+            ToyView {
+                n,
+                down: Vec::new(),
+                lag: SimDuration::ZERO,
+            }
+        }
+    }
+
+    impl ClusterView for ToyView {
+        fn node_count(&self) -> usize {
+            self.n
+        }
+        fn is_live_coordinator(&self, i: usize) -> bool {
+            !self.down.contains(&(i as u32))
+        }
+        fn rf(&self) -> usize {
+            3
+        }
+        fn replicas_of(&self, _coordinator: usize, key: u64, out: &mut Vec<u32>) {
+            let first = (key % self.n as u64) as usize;
+            for k in 0..3.min(self.n) {
+                out.push(((first + k) % self.n) as u32);
+            }
+        }
+        fn replica_alive(&self, _coordinator: usize, replica: u32) -> bool {
+            !self.down.contains(&replica)
+        }
+        fn link_lag(&self, _src: u32, _dst: u32) -> SimDuration {
+            self.lag
+        }
+    }
+
+    fn run(cfg: TrafficConfig, view: &ToyView, ticks: u64) -> TrafficReport {
+        let root = DetRng::new(42);
+        let mut st = TrafficState::new(cfg, &root, LatencyModel::lan());
+        for t in 0..ticks {
+            st.tick(SimTime::from_secs(t + 1), Phase::Pre, view);
+        }
+        st.report()
+    }
+
+    #[test]
+    fn healthy_cluster_serves_everything() {
+        let view = ToyView::healthy(8);
+        let r = run(TrafficConfig::open_loop(1000), &view, 20);
+        assert!(r.enabled);
+        assert_eq!(r.failed, 0);
+        assert_eq!(r.degraded, 0);
+        assert!(r.attempted > 15_000, "attempted {}", r.attempted);
+        assert!(r.samples <= 20 * 64);
+        let s = r.slo_summary();
+        assert_eq!(s.availability_permille, 1000);
+        assert!(!s.budget_breached);
+        // Quorum read = service + ~2nd-fastest lan RTT: low ms.
+        assert!(s.p99_ns < 20_000_000, "p99 {}", s.p99_ns);
+    }
+
+    #[test]
+    fn dead_quorum_burns_budget_and_inflates_the_tail() {
+        // 2 of 3 replicas of every key down: quorum unreachable.
+        let view = ToyView {
+            n: 3,
+            down: vec![1, 2],
+            lag: SimDuration::ZERO,
+        };
+        let r = run(TrafficConfig::open_loop(1000), &view, 20);
+        assert!(r.failed + r.degraded > 0);
+        let s = r.slo_summary();
+        assert!(s.budget_breached, "burn {}", s.budget_burned_permille);
+        // The tail hits the timeout/backoff cliff.
+        assert!(s.p999_ns >= 50_000_000, "p999 {}", s.p999_ns);
+    }
+
+    #[test]
+    fn identical_runs_are_byte_identical() {
+        let view = ToyView::healthy(16);
+        let a = run(TrafficConfig::open_loop(50_000), &view, 30);
+        let b = run(TrafficConfig::open_loop(50_000), &view, 30);
+        assert_eq!(a.log_digest, b.log_digest);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn state_is_o1_in_the_user_population() {
+        let view = ToyView::healthy(8);
+        let root = DetRng::new(7);
+        let mut small =
+            TrafficState::new(TrafficConfig::open_loop(1_000), &root, LatencyModel::lan());
+        let mut huge = TrafficState::new(
+            TrafficConfig::open_loop(1_000_000),
+            &root,
+            LatencyModel::lan(),
+        );
+        for t in 0..50 {
+            small.tick(SimTime::from_secs(t + 1), Phase::Rescale, &view);
+            huge.tick(SimTime::from_secs(t + 1), Phase::Rescale, &view);
+        }
+        assert!(huge.attempted() > 900 * small.attempted());
+        assert_eq!(
+            small.tracked_bytes(),
+            huge.tracked_bytes(),
+            "a 1000x user population must not change the tracked footprint"
+        );
+    }
+
+    #[test]
+    fn link_lag_feeds_request_latency() {
+        let calm = ToyView::healthy(8);
+        let jammed = ToyView {
+            n: 8,
+            down: Vec::new(),
+            lag: SimDuration::from_millis(40),
+        };
+        let a = run(TrafficConfig::open_loop(1000), &calm, 10);
+        let b = run(TrafficConfig::open_loop(1000), &jammed, 10);
+        // 40 ms of FIFO residual each way dominates the LAN RTT.
+        assert!(
+            b.slo_summary().p50_ns > a.slo_summary().p50_ns + 50_000_000,
+            "lagged p50 {} vs calm p50 {}",
+            b.slo_summary().p50_ns,
+            a.slo_summary().p50_ns
+        );
+    }
+
+    #[test]
+    fn legacy_shape_maps_quorum_and_rate() {
+        let t = TrafficConfig::from_legacy(50, 2, 3);
+        assert!(t.enabled());
+        assert_eq!(t.write_cl, Consistency::Quorum);
+        assert_eq!(t.read_permille, 0);
+        assert_eq!(t.arrival.milliops_per_sec(), 50_000);
+        assert_eq!(
+            TrafficConfig::from_legacy(10, 3, 3).write_cl,
+            Consistency::All
+        );
+        assert_eq!(
+            TrafficConfig::from_legacy(10, 1, 3).write_cl,
+            Consistency::One
+        );
+        assert!(!TrafficConfig::from_legacy(0, 2, 3).enabled());
+    }
+
+    #[test]
+    fn no_live_coordinator_fails_the_whole_batch() {
+        let view = ToyView {
+            n: 4,
+            down: vec![0, 1, 2, 3],
+            lag: SimDuration::ZERO,
+        };
+        let r = run(TrafficConfig::open_loop(100), &view, 5);
+        assert!(r.attempted > 0);
+        assert_eq!(r.failed, r.attempted);
+        assert_eq!(r.slo_summary().availability_permille, 0);
+    }
+}

@@ -15,6 +15,9 @@
 # --explore     also regenerate TBL_explore.txt (schedule-exploration
 #               outcomes: stock presets stay tick-commutative, the
 #               race preset yields shrunk single-swap witnesses).
+# --slo         also regenerate BENCH_slo.json / TBL_slo.txt (the
+#               client-traffic SLO triples: per-bug tail-latency and
+#               error-budget verdicts under Real / Colo / SC+PIL).
 set -u
 cd "$(dirname "$0")/.."
 SCALES="32,64,128,256"
@@ -23,6 +26,7 @@ FAULT_INTENSITIES="0,0.3,0.7"
 DIVERGE=0
 SCALE=0
 EXPLORE=0
+SLO=0
 SWEEP_FLAGS=()
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -37,7 +41,8 @@ while [ $# -gt 0 ]; do
     --diverge) DIVERGE=1 ;;
     --scale) SCALE=1 ;;
     --explore) EXPLORE=1 ;;
-    *) echo "unknown flag: $1" >&2; echo "usage: $0 [--quick] [--jobs N] [--no-cache] [--faults LIST] [--diverge] [--scale] [--explore]" >&2; exit 2 ;;
+    --slo) SLO=1 ;;
+    *) echo "unknown flag: $1" >&2; echo "usage: $0 [--quick] [--jobs N] [--no-cache] [--faults LIST] [--diverge] [--scale] [--explore] [--slo]" >&2; exit 2 ;;
   esac
   shift
 done
@@ -86,6 +91,13 @@ fi
 # root (tracked). Deterministic: the eval cap (not the wall budget,
 # which is sized never to bind) cuts every cell, so regeneration
 # reproduces the committed table byte-for-byte.
+# Client-traffic SLO triples: writes BENCH_slo.json and TBL_slo.txt at
+# the repo root (tracked). Deterministic virtual-time results; opt-in
+# because the 128-node Colo cells re-execute the bug scenarios with the
+# datapath attached.
+if [ "$SLO" = 1 ]; then
+  run tbl_slo "$BIN/tbl_slo"
+fi
 if [ "$EXPLORE" = 1 ]; then
   run tbl_explore "$BIN/explore_run" \
     --cells c3831:64:1:colo,c3881:48:1:colo,c5456:48:1:colo,race:40:1:real,race:40:2:real,race:40:3:real,race:40:4:real \

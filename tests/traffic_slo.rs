@@ -1,0 +1,140 @@
+//! End-to-end contracts of the client-traffic datapath riding on the
+//! cluster runner:
+//!
+//! * attaching traffic never perturbs control-plane dynamics (the
+//!   datapath only *observes* the cluster);
+//! * the request log and histograms are byte-deterministic;
+//! * traffic state is O(requests), not O(users), all the way through a
+//!   full scenario run;
+//! * nonsensical quorum settings are rejected at config level instead
+//!   of silently under-counting.
+
+use proptest::prelude::*;
+use scalecheck_cluster::{run_scenario, ClientConfig, ScenarioConfig, TrafficConfig, Workload};
+use scalecheck_sim::SimDuration;
+
+/// A small, fast scenario: one decommission on a healthy cluster.
+fn small(n: usize, seed: u64) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::baseline(n, seed);
+    cfg.workload = Workload::Decommission {
+        count: 1,
+        gap: SimDuration::from_secs(30),
+    };
+    cfg.workload_end = SimDuration::from_secs(80);
+    cfg.max_duration = SimDuration::from_secs(300);
+    cfg
+}
+
+/// The same scenario with every client-side datapath disabled.
+fn silent(n: usize, seed: u64) -> ScenarioConfig {
+    let mut cfg = small(n, seed);
+    cfg.client = ClientConfig::OFF;
+    cfg.traffic = TrafficConfig::OFF;
+    cfg
+}
+
+/// Control-plane fields that must not move when traffic is attached.
+fn control_plane(r: &scalecheck_cluster::RunReport) -> impl PartialEq + std::fmt::Debug {
+    (
+        r.total_flaps,
+        r.per_node_flaps.clone(),
+        r.recoveries,
+        r.messages_sent,
+        r.messages_dropped,
+        r.messages_delivered,
+        r.duration,
+        r.quiesced,
+        r.stale_timer_fires,
+    )
+}
+
+#[test]
+fn traffic_observes_without_perturbing_the_control_plane() {
+    let off = run_scenario(&silent(12, 7));
+    let on = run_scenario(&small(12, 7).with_traffic(TrafficConfig::open_loop(1_000_000)));
+    assert!(!off.traffic.enabled);
+    assert!(on.traffic.enabled);
+    assert!(on.traffic.attempted > 0, "traffic must actually flow");
+    assert_eq!(
+        control_plane(&off),
+        control_plane(&on),
+        "attaching the datapath must leave cluster dynamics bit-identical"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The differential contract holds across scales and seeds, and for
+    /// the legacy probe shape as well as the open-loop datapath.
+    #[test]
+    fn traffic_on_off_differential(n in 8usize..14, seed in 1u64..50) {
+        let off = run_scenario(&silent(n, seed));
+        let legacy = run_scenario(&silent(n, seed).with_traffic(
+            ClientConfig::light().to_traffic(3),
+        ));
+        let open = run_scenario(&small(n, seed).with_traffic(
+            TrafficConfig::open_loop(100_000),
+        ));
+        prop_assert_eq!(control_plane(&off), control_plane(&legacy));
+        prop_assert_eq!(control_plane(&off), control_plane(&open));
+    }
+}
+
+#[test]
+fn request_log_and_histograms_are_byte_deterministic() {
+    let cfg = small(10, 3).with_traffic(TrafficConfig::open_loop(1_000_000));
+    let a = run_scenario(&cfg);
+    let b = run_scenario(&cfg);
+    assert_eq!(a.traffic, b.traffic, "traffic reports must be identical");
+    assert_eq!(
+        serde_json::to_string(&a.traffic).unwrap(),
+        serde_json::to_string(&b.traffic).unwrap(),
+        "serialized bytes must match exactly"
+    );
+    assert_eq!(a.traffic.log_digest, b.traffic.log_digest);
+    assert!(a.traffic.attempted > 0);
+}
+
+#[test]
+fn traffic_state_is_o_requests_not_o_users_through_a_full_run() {
+    // A thousand users and a million users differ by 1000x in offered
+    // load, but the datapath aggregates arrivals into weighted samples:
+    // its tracked memory must not grow with the population.
+    let thousand = run_scenario(&small(10, 5).with_traffic(TrafficConfig::open_loop(1_000)));
+    let million = run_scenario(&small(10, 5).with_traffic(TrafficConfig::open_loop(1_000_000)));
+    assert!(million.traffic.attempted > 100 * thousand.traffic.attempted);
+    assert_eq!(
+        thousand.traffic.state_peak_bytes, million.traffic.state_peak_bytes,
+        "peak tracked bytes must be independent of the user population"
+    );
+    assert!(million.traffic.state_peak_bytes > 0);
+}
+
+#[test]
+fn quorum_beyond_rf_is_a_config_error_not_an_undercount() {
+    let mut cfg = small(10, 1);
+    cfg.client = ClientConfig {
+        ops_per_sec: 50,
+        quorum: cfg.rf + 1,
+    };
+    let err = cfg.validate().unwrap_err();
+    assert!(
+        err.contains("quorum") && err.contains("rf"),
+        "error must name the clash: {err}"
+    );
+    // Disabling the probe makes the same setting inert and valid.
+    cfg.client.ops_per_sec = 0;
+    cfg.validate().expect("disabled probe never under-counts");
+}
+
+#[test]
+#[should_panic(expected = "quorum")]
+fn runner_refuses_to_start_with_an_invalid_quorum() {
+    let mut cfg = small(10, 1);
+    cfg.client = ClientConfig {
+        ops_per_sec: 50,
+        quorum: cfg.rf + 1,
+    };
+    let _ = run_scenario(&cfg);
+}
