@@ -16,23 +16,24 @@
 //! cargo run --release -p scalecheck-bench --bin tbl_slo
 //! ```
 //!
-//! Writes `BENCH_slo.json` (schema `bench_slo/v1`) and `TBL_slo.txt`
+//! Writes `BENCH_slo.json` (schema `bench_slo/v2`) and `TBL_slo.txt`
 //! in the working directory, and prints the table.
 //!
 //! Options:
 //! * `--bugs c3831,c3881,c5456` — scenarios (default all three);
-//! * `--scales 64,128` — cluster sizes (default: one at-or-below the
-//!   paper's 100-node test scale, one past it);
+//! * `--scales 64,128,256` — cluster sizes (default: one at-or-below
+//!   the paper's 100-node test scale, two past it);
 //! * `--users 1000000` — virtual users per cell;
 //! * `--seed 1` — simulation seed;
 //! * `--modes real,colo,scpil` — deployments (default all; verdicts
 //!   need all three);
 //! * `--json-out PATH` / `--table-out PATH` — artifact destinations;
 //! * `--no-write` — print only, write no artifact files;
-//! * `--smoke` — CI mode: run one 64-node Colo cell cache-free,
-//!   validate its `bench_slo/v1` row, check the request-log digest is
-//!   stable across a re-run, and fail past `--budget-secs` (default
-//!   120) of wall clock;
+//! * `--smoke` — CI mode: run the c3831 128-node Real and Colo cells
+//!   cache-free, validate the `bench_slo/v2` rows, require the Colo
+//!   tail to *diverge* from Real (the coupled datapath's core claim),
+//!   check the request-log digest is stable across a re-run, and fail
+//!   past `--budget-secs` (default 120) of wall clock;
 //! * `--jobs N` / `--no-cache` — sweep worker/caching control.
 //!
 //! The cache key embeds the full scenario — including the arrival
@@ -49,12 +50,14 @@ use scalecheck_bench::{
 use scalecheck_cluster::{RunReport, ScenarioConfig, SloSummary, TrafficConfig};
 use scalecheck_explore::{SloParams, SloTriple, SloVerdict};
 
-const USAGE: &str = "usage: tbl_slo [--bugs c3831,c3881,c5456] [--scales 64,128] \
+const USAGE: &str = "usage: tbl_slo [--bugs c3831,c3881,c5456] [--scales 64,128,256] \
 [--users N] [--seed N] [--modes real,colo,scpil] [--json-out PATH] [--table-out PATH] \
 [--no-write] [--smoke] [--budget-secs N] [--jobs N] [--no-cache]";
 
-/// The schema tag committed artifacts carry.
-const SCHEMA: &str = "bench_slo/v1";
+/// The schema tag committed artifacts carry. v2: requests run coupled
+/// to the simulated CPUs and network, rows gain `tail_saturated` /
+/// `retried` / `data_dropped`, and the default sweep reaches N=256.
+const SCHEMA: &str = "bench_slo/v2";
 
 /// Default virtual-user population per cell. The datapath is
 /// O(requests), not O(users), so a million costs the same as a
@@ -113,7 +116,7 @@ fn ms(ns: u64) -> f64 {
     ns as f64 / 1e6
 }
 
-/// One `bench_slo/v1` row.
+/// One `bench_slo/v2` row.
 fn row_json(bug: &str, n: usize, mode_label: &str, r: &RunReport) -> serde_json::Value {
     let s = r.traffic.slo_summary();
     serde_json::json!({
@@ -127,6 +130,9 @@ fn row_json(bug: &str, n: usize, mode_label: &str, r: &RunReport) -> serde_json:
         "p50_ns": s.p50_ns,
         "p99_ns": s.p99_ns,
         "p999_ns": s.p999_ns,
+        "tail_saturated": s.tail_saturated,
+        "retried": r.traffic.retried,
+        "data_dropped": r.traffic.data_dropped,
         "availability_permille": s.availability_permille,
         "budget_burned_permille": s.budget_burned_permille,
         "budget_breached": s.budget_breached,
@@ -134,7 +140,7 @@ fn row_json(bug: &str, n: usize, mode_label: &str, r: &RunReport) -> serde_json:
     })
 }
 
-/// Checks one row against the `bench_slo/v1` contract. Returns the
+/// Checks one row against the `bench_slo/v2` contract. Returns the
 /// first violation, if any.
 fn validate_row(row: &serde_json::Value) -> Result<(), String> {
     let u64_fields = [
@@ -146,6 +152,8 @@ fn validate_row(row: &serde_json::Value) -> Result<(), String> {
         "p50_ns",
         "p99_ns",
         "p999_ns",
+        "retried",
+        "data_dropped",
         "availability_permille",
         "budget_burned_permille",
     ];
@@ -167,9 +175,11 @@ fn validate_row(row: &serde_json::Value) -> Result<(), String> {
     if avail.is_none_or(|a| a > 1000) {
         return Err("availability_permille must be <= 1000".to_string());
     }
-    row.get("budget_breached")
-        .and_then(|v| v.as_bool())
-        .ok_or("row missing bool field 'budget_breached'".to_string())?;
+    for f in ["budget_breached", "tail_saturated"] {
+        row.get(f)
+            .and_then(|v| v.as_bool())
+            .ok_or_else(|| format!("row missing bool field '{f}'"))?;
+    }
     Ok(())
 }
 
@@ -258,9 +268,17 @@ fn render_table(seed: u64, users: u64, points: &[Point], params: &SloParams) -> 
     );
     let _ = writeln!(
         out,
-        "p in ms; avail/burn in permille; verdict: diverge = Colo p99.9/budget departs Real,"
+        "p in ms ('+' = tail saturated at the observed max, typically the client timeout);"
     );
-    let _ = writeln!(out, "track = SC+PIL stays within the allowance of Real\n");
+    let _ = writeln!(
+        out,
+        "avail/burn in permille; retry = weighted client retries fed back into offered load;"
+    );
+    let _ = writeln!(
+        out,
+        "verdict: diverge = Colo p99.9/budget departs Real, track = SC+PIL stays within"
+    );
+    let _ = writeln!(out, "the allowance of Real\n");
     let mut buf = vec![vec![
         "bug".to_string(),
         "#Nodes".to_string(),
@@ -269,6 +287,7 @@ fn render_table(seed: u64, users: u64, points: &[Point], params: &SloParams) -> 
         "p50".to_string(),
         "p99".to_string(),
         "p99.9".to_string(),
+        "retry".to_string(),
         "avail".to_string(),
         "burn".to_string(),
         "breach".to_string(),
@@ -283,7 +302,12 @@ fn render_table(seed: u64, users: u64, points: &[Point], params: &SloParams) -> 
                 r.total_flaps.to_string(),
                 format!("{:.2}", ms(s.p50_ns)),
                 format!("{:.2}", ms(s.p99_ns)),
-                format!("{:.2}", ms(s.p999_ns)),
+                format!(
+                    "{:.2}{}",
+                    ms(s.p999_ns),
+                    if s.tail_saturated { "+" } else { "" }
+                ),
+                r.traffic.retried.to_string(),
                 s.availability_permille.to_string(),
                 s.budget_burned_permille.to_string(),
                 if s.budget_breached { "YES" } else { "-" }.to_string(),
@@ -321,54 +345,91 @@ fn render_table(seed: u64, users: u64, points: &[Point], params: &SloParams) -> 
 }
 
 fn smoke(seed: u64, users: u64, budget_secs: f64) -> ! {
-    // One 64-node Colo cell, always executed (never cache-served), run
-    // twice: the second run must reproduce the first's request-log
-    // digest byte-for-byte — the datapath's determinism contract on
-    // exactly the cell CI depends on.
+    // The c3831 128-node Real and Colo cells, always executed (never
+    // cache-served). Three contracts, on exactly the point the paper's
+    // user-visible claim rests on:
+    //  1. `bench_slo/v2` rows validate;
+    //  2. the Colo tail *diverges* from Real — the coupled datapath
+    //     must surface C3831's CPU starvation past the test scale;
+    //  3. the Colo cell re-run reproduces its traffic report
+    //     byte-for-byte (the datapath's determinism contract).
     let bug = "c3831";
-    let n = 64;
-    let mode = ExecMode::Colo { cores: COLO_CORES };
-    let spec = CellSpec::new(slo_scenario(bug, n, seed, users), mode);
-    eprintln!("[smoke] running {bug} N={n} {} ...", mode.label());
+    let n = 128;
     let t0 = Instant::now();
-    let report = spec.run();
+    let mut reports = Vec::new();
+    for mode in [ExecMode::Real, ExecMode::Colo { cores: COLO_CORES }] {
+        let spec = CellSpec::new(slo_scenario(bug, n, seed, users), mode);
+        eprintln!("[smoke] running {bug} N={n} {} ...", mode.label());
+        reports.push((mode, spec.run()));
+    }
     let wall = t0.elapsed().as_secs_f64();
-    let row = row_json(bug, n, mode.label(), &report);
+    let rows: Vec<serde_json::Value> = reports
+        .iter()
+        .map(|(mode, r)| row_json(bug, n, mode.label(), r))
+        .collect();
     let verdicts: Vec<serde_json::Value> = Vec::new();
     let doc = serde_json::json!({
         "schema": SCHEMA,
         "seed": seed,
         "users": users,
-        "rows": [row],
+        "rows": rows,
         "verdicts": verdicts,
     });
     if let Err(e) = validate_doc(&doc) {
         eprintln!("[smoke] FAIL: schema violation: {e}");
         std::process::exit(1);
     }
-    let rerun = spec.run();
-    if rerun.traffic != report.traffic {
-        eprintln!("[smoke] FAIL: traffic report not reproducible across reruns");
+    let (real, colo) = (&reports[0].1, &reports[1].1);
+    for (label, r) in [("Real", real), ("Colo", colo)] {
+        let s = r.traffic.slo_summary();
+        println!(
+            "smoke: {bug} N={n} {label} attempted={} p99.9={:.2}ms avail={}‰ retried={} digest={}",
+            s.attempted,
+            ms(s.p999_ns),
+            s.availability_permille,
+            r.traffic.retried,
+            r.traffic.log_digest,
+        );
+        if s.attempted == 0 {
+            eprintln!("[smoke] FAIL: {label} attempted zero requests");
+            std::process::exit(1);
+        }
+    }
+    // The divergence assertion: same params the full table applies.
+    let triple = SloTriple {
+        real: real.traffic.slo_summary(),
+        colo: colo.traffic.slo_summary(),
+        // Only colo_diverges is under test; feed Real in for PIL so
+        // pil_tracks is vacuously true.
+        pil: real.traffic.slo_summary(),
+    };
+    let v = triple.verdict(&SloParams::default());
+    if !v.colo_diverges {
+        eprintln!(
+            "[smoke] FAIL: Colo SLO does not diverge from Real at {bug} N={n} \
+             (real p99.9={:.2}ms colo p99.9={:.2}ms): the coupled datapath lost \
+             the paper's user-visible signal",
+            ms(triple.real.p999_ns),
+            ms(triple.colo.p999_ns),
+        );
         std::process::exit(1);
     }
-    let s = report.traffic.slo_summary();
-    println!(
-        "smoke: {bug} N={n} {} wall={wall:.2}s attempted={} p99.9={:.2}ms avail={}‰ digest={}",
-        mode.label(),
-        s.attempted,
-        ms(s.p999_ns),
-        s.availability_permille,
-        report.traffic.log_digest,
-    );
-    if s.attempted == 0 {
-        eprintln!("[smoke] FAIL: traffic datapath attempted zero requests");
+    let rerun = CellSpec::new(
+        slo_scenario(bug, n, seed, users),
+        ExecMode::Colo { cores: COLO_CORES },
+    )
+    .run();
+    if rerun.traffic != colo.traffic {
+        eprintln!("[smoke] FAIL: traffic report not reproducible across reruns");
         std::process::exit(1);
     }
     if wall > budget_secs {
         eprintln!("[smoke] FAIL: {wall:.2}s exceeds the {budget_secs:.0}s wall budget");
         std::process::exit(1);
     }
-    println!("smoke: PASS (schema ok, digest stable, within {budget_secs:.0}s budget)");
+    println!(
+        "smoke: PASS (schema ok, colo diverges from real, digest stable, within {budget_secs:.0}s budget)"
+    );
     std::process::exit(0);
 }
 
@@ -383,7 +444,7 @@ fn main() {
         .unwrap_or(DEFAULT_USERS);
     let scales: Vec<usize> = parse_list_flag(&args, "--scales")
         .unwrap_or_else(|e| exit_usage(USAGE, &e))
-        .unwrap_or_else(|| vec![64, 128]);
+        .unwrap_or_else(|| vec![64, 128, 256]);
     let bugs: Vec<String> = parse_list_flag(&args, "--bugs")
         .unwrap_or_else(|e| exit_usage(USAGE, &e))
         .unwrap_or_else(|| vec!["c3831".into(), "c3881".into(), "c5456".into()]);

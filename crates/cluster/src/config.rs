@@ -429,6 +429,31 @@ impl ScenarioConfig {
             if self.traffic.sample_cap_per_tick == 0 {
                 return Err("traffic.sample_cap_per_tick must be positive".into());
             }
+            if let scalecheck_traffic::KeySkew::Zipfian {
+                theta_permille,
+                keyspace,
+            } = self.traffic.key_skew
+            {
+                if keyspace < 2 {
+                    return Err(format!(
+                        "traffic.key_skew keyspace ({keyspace}) must be at least 2"
+                    ));
+                }
+                if theta_permille > 4000 {
+                    return Err(format!(
+                        "traffic.key_skew theta_permille ({theta_permille}) exceeds 4000: \
+                         the inverse-CDF approximation is untrustworthy that far out"
+                    ));
+                }
+            }
+            if self.traffic.client_retries > 0 && self.traffic.retry_backoff == SimDuration::ZERO {
+                return Err(
+                    "traffic.retry_backoff must be positive when client_retries > 0: \
+                     a zero backoff reissues at the timeout instant and double-counts \
+                     the tick"
+                        .into(),
+                );
+            }
         }
         Ok(())
     }

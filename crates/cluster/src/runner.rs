@@ -24,7 +24,7 @@ use std::collections::BTreeMap;
 use scalecheck_gossip::Liveness;
 use scalecheck_memo::{OrderDecision, OrderEnforcer, OrderRecorder};
 use scalecheck_net::{Addr, Network};
-use scalecheck_obs::{Metric, SpanName, ENGINE_PID, TID_CALC, TID_GOSSIP};
+use scalecheck_obs::{Metric, SpanName, ENGINE_PID, TID_CALC, TID_GOSSIP, TID_REQUEST};
 use scalecheck_ring::{spread_tokens, NodeId, NodeStatus, PendingRanges, RingTable, Token};
 use scalecheck_sim::tie::tag;
 use scalecheck_sim::{
@@ -58,6 +58,14 @@ pub struct ClusterState {
     pub net: Network,
     /// Machines (one per node in Real, a single shared one otherwise).
     pub park: MachinePark,
+    /// PilReplay only: the *emulated* real-scale park (one two-core
+    /// machine per node, Real's context-switch model) that coupled
+    /// request service bills instead of the colocated `park`. The
+    /// processing illusion promises real-scale timing, and for the
+    /// datapath that means real-scale *queueing* — per-node service
+    /// contention included — not an uncontended sleep. Empty in every
+    /// other deployment mode.
+    pil_request_park: MachinePark,
     /// Memory budget per machine.
     pub machine_mem: Vec<MemoryModel>,
     /// Virtual locks (one ring lock per node).
@@ -79,22 +87,28 @@ pub struct ClusterState {
     /// epoch guard remains as a backstop and this counts its catches.
     stale_timer_fires: u64,
     /// The client-request datapath (open-loop arrivals, consistency
-    /// levels, SLO accounting). Pure passenger: reads coordinator
-    /// state, never writes back, owns its private RNG fork.
+    /// levels, SLO accounting). In coupled mode it is a tenant of the
+    /// simulation — request service bills node CPUs and replica round
+    /// trips ride the data plane; the legacy uncoupled probe only reads
+    /// coordinator state. Either way it owns its private RNG fork.
     traffic: scalecheck_traffic::TrafficState,
     /// Handler for periodic traffic ticks.
     traffic_handler: Option<HandlerId>,
     /// Observability tracing active (full spans or the legacy event log;
     /// both feed off the thread-local [`scalecheck_obs`] tracer).
     trace_enabled: bool,
-    /// Cumulative per-node `[gossip, calc]` CPU demand submitted, in
-    /// virtual ns, billed by *work kind* (C3831 runs calc work on the
-    /// gossip stage; attribution needs the kind, not the host stage).
-    /// PIL-replaced sleeps bill nothing — they do not occupy a core.
-    work_busy: Vec<[u64; 2]>,
+    /// Cumulative per-node `[gossip, calc, request]` CPU demand
+    /// submitted, in virtual ns, billed by *work kind* (C3831 runs calc
+    /// work on the gossip stage; attribution needs the kind, not the
+    /// host stage). PIL-replaced calc sleeps bill nothing — they do
+    /// not occupy a core. Request service bills in every mode; under
+    /// PilReplay it lands on the emulated real-scale park
+    /// (`pil_request_park`), so the slot reads as the real-scale
+    /// prediction rather than colocated contention.
+    work_busy: Vec<[u64; 3]>,
     /// Last sampled `work_busy` readings (the utilization sampler
     /// differences successive readings).
-    busy_sampled: Vec<[u64; 2]>,
+    busy_sampled: Vec<[u64; 3]>,
     inflight: i64,
     deliveries: u64,
     forced_releases: u64,
@@ -179,6 +193,22 @@ fn build(cfg: &ScenarioConfig, calc: CalcEngine) -> ClusterState {
             };
             park.add(Machine::new(cores.max(1), cs));
             machine_mem.push(MemoryModel::new(cfg.memory.machine_capacity));
+        }
+    }
+
+    // PIL bills coupled request service on an emulated real-scale park —
+    // the exact hardware shape the `Real` arm above builds — so the
+    // datapath sees real deployment's per-node service queueing instead
+    // of either the colocated contention or an uncontended sleep.
+    let mut pil_request_park = MachinePark::new();
+    if matches!(cfg.deployment, DeploymentMode::PilReplay { .. }) {
+        let cs = if cfg.free_ctx_switch {
+            CtxSwitchModel::FREE
+        } else {
+            CtxSwitchModel::commodity()
+        };
+        for _ in 0..total {
+            pil_request_park.add(Machine::new(2, cs));
         }
     }
 
@@ -331,12 +361,13 @@ fn build(cfg: &ScenarioConfig, calc: CalcEngine) -> ClusterState {
         traffic,
         traffic_handler: None,
         trace_enabled: cfg.trace.enabled || cfg.trace_events,
-        work_busy: vec![[0, 0]; total],
-        busy_sampled: vec![[0, 0]; total],
+        work_busy: vec![[0, 0, 0]; total],
+        busy_sampled: vec![[0, 0, 0]; total],
         cfg: cfg.clone(),
         nodes,
         net,
         park,
+        pil_request_park,
         machine_mem,
         locks,
         ring_lock,
@@ -1116,19 +1147,30 @@ fn flush_expired_held(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>, i:
 // Client traffic (the user-visible datapath).
 // ---------------------------------------------------------------------
 
-/// The coordinator's-eye view the traffic engine reads each tick:
-/// immutable borrows of the node table and the network fabric. Requests
-/// resolve replicas against each coordinator's *own* ring view and its
-/// failure detector's verdicts — the paper's mechanism for turning flap
-/// storms into "data not reachable by the users".
-struct LiveView<'a> {
+/// The coordinator's-eye fabric the traffic engine runs against each
+/// tick. Requests resolve replicas against each coordinator's *own*
+/// ring view and its failure detector's verdicts — the paper's
+/// mechanism for turning flap storms into "data not reachable by the
+/// users" — while coupled request service bills the shared machine
+/// park and replica round trips ride the real network (per-link FIFO
+/// clocks, partitions, fault windows).
+struct LiveFabric<'a> {
     nodes: &'a [Node],
-    net: &'a Network,
-    now: SimTime,
-    scratch: std::cell::RefCell<Vec<NodeId>>,
+    net: &'a mut Network,
+    park: &'a mut MachinePark,
+    work_busy: &'a mut [[u64; 3]],
+    /// PIL mode: `park` is the emulated real-scale request park (one
+    /// machine per node) rather than the colocated one, and machine
+    /// lookup is by node index instead of the node's (shared) machine
+    /// id. The processing illusion promises real-scale timing on
+    /// colocated hardware — including real-scale per-node service
+    /// queueing — without charging the emulated cluster's load to
+    /// cores it is pretending to have more of.
+    pil: bool,
+    scratch: Vec<NodeId>,
 }
 
-impl scalecheck_traffic::ClusterView for LiveView<'_> {
+impl scalecheck_traffic::ClusterFabric for LiveFabric<'_> {
     fn node_count(&self) -> usize {
         self.nodes.len()
     }
@@ -1141,12 +1183,11 @@ impl scalecheck_traffic::ClusterView for LiveView<'_> {
         self.nodes.first().map_or(0, |n| n.ring.rf())
     }
 
-    fn replicas_of(&self, coordinator: usize, key: u64, out: &mut Vec<u32>) {
-        let mut scratch = self.scratch.borrow_mut();
+    fn replicas_of(&mut self, coordinator: usize, key: u64, out: &mut Vec<u32>) {
         self.nodes[coordinator]
             .ring
-            .replicas_of(Token(key), &mut scratch);
-        out.extend(scratch.iter().map(|n| n.0));
+            .replicas_of(Token(key), &mut self.scratch);
+        out.extend(self.scratch.iter().map(|n| n.0));
     }
 
     fn replica_alive(&self, coordinator: usize, replica: u32) -> bool {
@@ -1158,14 +1199,36 @@ impl scalecheck_traffic::ClusterView for LiveView<'_> {
         coord.fd.liveness(peer_of(NodeId(replica))) != Some(Liveness::Dead)
     }
 
-    fn link_lag(&self, src: u32, dst: u32) -> SimDuration {
+    fn bill_service(&mut self, node: u32, at: SimTime, demand: SimDuration) -> SimTime {
+        // Request service is real work in every deployment mode; under
+        // PIL it bills the emulated real-scale park (`self.park` is
+        // already swapped, machines indexed by node). The machine's
+        // core allocator is monotone in submission order, so billing at
+        // a future `at` (mid-request-lifecycle) is well-defined.
+        let i = node as usize;
+        self.work_busy[i][2] += demand.as_nanos();
+        let machine = if self.pil {
+            scalecheck_sim::cpu::MachineId(i)
+        } else {
+            self.nodes[i].machine
+        };
+        self.park.get_mut(machine).submit(at, demand).finish
+    }
+
+    fn send_data(
+        &mut self,
+        at: SimTime,
+        src: u32,
+        dst: u32,
+        rng: &mut scalecheck_sim::DetRng,
+    ) -> Option<SimTime> {
         self.net
-            .fifo_lag(self.now, addr_of(NodeId(src)), addr_of(NodeId(dst)))
+            .offer_data(at, rng, addr_of(NodeId(src)), addr_of(NodeId(dst)))
     }
 }
 
-/// One traffic tick: classify the phase, lend the traffic engine a
-/// read-only view, and rearm the timer. Exactly one engine schedule per
+/// One traffic tick: classify the phase, lend the traffic engine the
+/// live fabric, and rearm the timer. Exactly one engine schedule per
 /// tick on the same cadence the legacy client probe used (first fire at
 /// 700 ms, then every arrival tick), so committed schedule witnesses
 /// keep their sequence numbering.
@@ -1181,18 +1244,25 @@ fn traffic_tick(st: &mut ClusterState, ctx: &mut Ctx<'_, ClusterState>) {
     };
     {
         let ClusterState {
+            cfg,
             nodes,
             net,
+            park,
+            pil_request_park,
+            work_busy,
             traffic,
             ..
         } = st;
-        let view = LiveView {
+        let pil = matches!(cfg.deployment, DeploymentMode::PilReplay { .. });
+        let mut fabric = LiveFabric {
             nodes,
             net,
-            now,
-            scratch: std::cell::RefCell::new(Vec::new()),
+            park: if pil { pil_request_park } else { park },
+            work_busy,
+            pil,
+            scratch: Vec::new(),
         };
-        traffic.tick(now, phase, &view);
+        traffic.tick(now, phase, &mut fabric);
     }
     let h = st.traffic_handler.expect("traffic handler registered");
     ctx.schedule_handler_after(st.traffic.config().arrival.tick, h, 0);
@@ -1534,9 +1604,9 @@ pub fn run_scenario_with_db(
         let now = ctx.now();
         let interval = st.cfg.trace.sample_every_ns.max(1);
         for i in 0..st.nodes.len() {
-            let [gossip, calc] = st.work_busy[i];
-            let [prev_g, prev_c] = st.busy_sampled[i];
-            st.busy_sampled[i] = [gossip, calc];
+            let [gossip, calc, request] = st.work_busy[i];
+            let [prev_g, prev_c, prev_r] = st.busy_sampled[i];
+            st.busy_sampled[i] = [gossip, calc, request];
             let ts = now.as_nanos();
             scalecheck_obs::counter(
                 SpanName::StageUtilization,
@@ -1551,6 +1621,13 @@ pub fn run_scenario_with_db(
                 TID_CALC,
                 ts,
                 calc.saturating_sub(prev_c) * 1000 / interval,
+            );
+            scalecheck_obs::counter(
+                SpanName::StageUtilization,
+                i as u32,
+                TID_REQUEST,
+                ts,
+                request.saturating_sub(prev_r) * 1000 / interval,
             );
         }
         ctx.schedule_after(SimDuration::from_nanos(interval), sample_utilization);

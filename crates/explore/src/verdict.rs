@@ -79,7 +79,11 @@ pub struct SloParams {
     /// a 30 % inflation is still "tracking"; beyond it, divergence).
     pub p999_inflation_permille: u32,
     /// Absolute floor on the p99.9 allowance, in nanoseconds — one
-    /// log-histogram bucket at millisecond latencies.
+    /// power-of-two histogram bucket at the millisecond magnitudes the
+    /// committed tables sit at (the bucket holding a ~6 ms baseline
+    /// spans 4.19–8.39 ms, so estimates of the *same* tail can sit a
+    /// full 4.19 ms apart on quantization alone; a floor below one
+    /// bucket width would let that noise flip a verdict).
     pub p999_slack_ns: u64,
     /// Availability slack in permille (5 = 0.5 % absolute).
     pub availability_slack_permille: u32,
@@ -89,7 +93,7 @@ impl Default for SloParams {
     fn default() -> Self {
         SloParams {
             p999_inflation_permille: 300,
-            p999_slack_ns: 2_000_000,
+            p999_slack_ns: 1 << 22,
             availability_slack_permille: 5,
         }
     }
@@ -202,6 +206,7 @@ mod tests {
             p50_ns: p999_ns / 4,
             p99_ns: p999_ns / 2,
             p999_ns,
+            tail_saturated: false,
             availability_permille,
             budget_burned_permille: if budget_breached { 1500 } else { 100 },
             budget_breached,
@@ -251,7 +256,7 @@ mod tests {
             pil: summary(2_000_000, 1000, false),
         };
         let v = t.verdict(&p);
-        assert!(!v.colo_diverges, "inside the 2ms floor");
+        assert!(!v.colo_diverges, "inside the one-bucket floor");
         assert!(v.pil_tracks);
 
         // A PIL that loses availability beyond the slack stops tracking.

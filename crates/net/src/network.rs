@@ -164,22 +164,6 @@ impl LinkClocks {
         self.top_side = new_side;
     }
 
-    /// Read-only clock lookup: [`SimTime::ZERO`] for links that have
-    /// never carried a message. Never allocates — observation paths
-    /// (the traffic engine's FIFO-lag probe) must not change which
-    /// tiles exist, or probing would perturb memory accounting.
-    fn clock(&self, src: Addr, dst: Addr) -> SimTime {
-        let (s, d) = (src.0 as usize, dst.0 as usize);
-        let (ts, td) = (s / Self::TILE, d / Self::TILE);
-        if ts >= self.top_side || td >= self.top_side {
-            return SimTime::ZERO;
-        }
-        match &self.tiles[ts * self.top_side + td] {
-            Some(tile) => tile[(s % Self::TILE) * Self::TILE + (d % Self::TILE)],
-            None => SimTime::ZERO,
-        }
-    }
-
     #[cfg(test)]
     fn allocated_tiles(&self) -> usize {
         self.tiles.iter().filter(|t| t.is_some()).count()
@@ -400,19 +384,42 @@ impl Network {
         deliver_at
     }
 
-    /// Residual FIFO delay on the `src → dst` link at `now`: how far
-    /// the link clock sits ahead of the virtual clock because of
-    /// messages already accepted but not yet delivered. Zero on idle or
-    /// never-used links. Read-only — the traffic engine samples this to
-    /// price queued control traffic into request RTTs without mutating
-    /// the fabric.
-    pub fn fifo_lag(&self, now: SimTime, src: Addr, dst: Addr) -> SimDuration {
-        let clock = self.link_clock.clock(src, dst);
-        if clock <= now {
-            SimDuration::ZERO
-        } else {
-            clock.since(now)
+    /// Offers one *data-plane* message (a client request or replica
+    /// response from the traffic engine) to the fabric, returning its
+    /// delivery time, or `None` if the fabric drops it.
+    ///
+    /// Data messages share the control plane's partitions, random
+    /// loss, drop/delay fault windows, latency model, and — crucially —
+    /// the per-link FIFO clocks, so queued gossip delays requests and
+    /// heavy request traffic delays gossip. They are *not* part of the
+    /// control-plane bookkeeping: no [`MessageId`], no delivery-trace
+    /// entry (schedule memoization replays the control plane only), no
+    /// duplicate injection (replica RPCs are idempotent, so the extra
+    /// arrival would be unobservable), and none of the control-plane
+    /// counters move — callers account data messages themselves. This
+    /// replaces the old read-only `fifo_lag` probe, which sampled the
+    /// link clock without paying for a slot on the link.
+    pub fn offer_data(
+        &mut self,
+        now: SimTime,
+        rng: &mut DetRng,
+        src: Addr,
+        dst: Addr,
+    ) -> Option<SimTime> {
+        if self.is_partitioned(src, dst) {
+            return None;
         }
+        if self.config.drop_probability > 0.0 && rng.gen_bool(self.config.drop_probability) {
+            return None;
+        }
+        for k in 0..self.drop_windows.len() {
+            let (w, p) = self.drop_windows[k];
+            if w.matches(now, src, dst) && rng.gen_bool(p) {
+                return None;
+            }
+        }
+        let latency = self.config.latency.sample(rng) + self.fault_delay(now, src, dst);
+        Some(self.fifo_clamp(src, dst, now + latency))
     }
 
     /// Cuts connectivity between `a` and `b` (both directions).
@@ -546,34 +553,40 @@ mod tests {
     }
 
     #[test]
-    fn fifo_lag_reads_the_queue_without_allocating() {
+    fn data_offers_ride_fifo_clocks_but_skip_control_bookkeeping() {
         let mut n = net(0.0);
         let mut rng = DetRng::new(1);
-        // Never-used link: zero lag, and the probe must not allocate a
-        // tile (clone the clocks' allocation census via Debug is
-        // overkill — re-probing clock() is enough because clock_mut on
-        // an empty store would have grown top_side).
-        assert_eq!(
-            n.fifo_lag(SimTime::ZERO, Addr(4000), Addr(4001)),
-            SimDuration::ZERO
-        );
-        assert_eq!(n.link_clock.top_side, 0, "probe must not allocate");
-        // Queue three messages at t=0 on one link: constant 1 ms
-        // latency puts the link clock at 1ms + 2ns.
+        n.set_record_trace(true);
+        // Queue three control messages at t=0 on one link: constant
+        // 1 ms latency stacks the link clock to 1 ms + 2 ns.
         for _ in 0..3 {
             n.send(SimTime::ZERO, &mut rng, Addr(1), Addr(2)).unwrap();
         }
-        let lag = n.fifo_lag(SimTime::ZERO, Addr(1), Addr(2));
-        assert!(lag >= SimDuration::from_millis(1), "lag {lag:?}");
+        // A data message on the jammed link queues behind the three
+        // accepted control messages...
+        let at = n
+            .offer_data(SimTime::ZERO, &mut rng, Addr(1), Addr(2))
+            .unwrap();
+        assert!(at > SimTime::ZERO + SimDuration::from_millis(1), "{at:?}");
+        // ...and the next control message queues behind the data one:
+        // the coupling is bidirectional.
+        let (id, ctrl_at) = n.send(SimTime::ZERO, &mut rng, Addr(1), Addr(2)).unwrap();
+        assert!(ctrl_at > at);
         // The reverse direction is independent and idle.
         assert_eq!(
-            n.fifo_lag(SimTime::ZERO, Addr(2), Addr(1)),
-            SimDuration::ZERO
+            n.offer_data(SimTime::ZERO, &mut rng, Addr(2), Addr(1)),
+            Some(SimTime::ZERO + SimDuration::from_millis(1))
         );
-        // Once the clock has drained past `now`, lag is zero again.
+        // Ids, counters, and the delivery trace never saw the data
+        // messages.
+        assert_eq!(id, MessageId(3));
+        assert_eq!(n.sent(), 4);
+        assert_eq!(n.trace().len(), 4);
+        // Partitions drop data messages outright.
+        n.partition(Addr(1), Addr(2));
         assert_eq!(
-            n.fifo_lag(SimTime::from_secs(1), Addr(1), Addr(2)),
-            SimDuration::ZERO
+            n.offer_data(SimTime::ZERO, &mut rng, Addr(1), Addr(2)),
+            None
         );
     }
 

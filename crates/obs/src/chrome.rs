@@ -19,7 +19,7 @@
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
-use crate::names::{SpanName, ENGINE_PID, TID_CALC, TID_GOSSIP};
+use crate::names::{SpanName, ENGINE_PID, TID_CALC, TID_GOSSIP, TID_REQUEST};
 use crate::tracer::Trace;
 
 fn push_ts(out: &mut String, ns: u64) {
@@ -33,6 +33,7 @@ fn thread_label(pid: u32, tid: u32) -> &'static str {
     match tid {
         TID_GOSSIP => "gossip",
         TID_CALC => "calc",
+        TID_REQUEST => "request",
         _ => "aux",
     }
 }
@@ -40,6 +41,7 @@ fn thread_label(pid: u32, tid: u32) -> &'static str {
 fn counter_label(name: u16, tid: u32) -> &'static str {
     match SpanName::from_u16(name) {
         Some(SpanName::StageUtilization) if tid == TID_CALC => "util.calc",
+        Some(SpanName::StageUtilization) if tid == TID_REQUEST => "util.request",
         Some(SpanName::StageUtilization) => "util.gossip",
         Some(SpanName::EngineEvents) => "events_per_s",
         _ => SpanName::str_of(name),

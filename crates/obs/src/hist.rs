@@ -83,24 +83,49 @@ impl LogHistogram {
 
     /// Approximate quantile at permille resolution (`p` in 0..=1000),
     /// fine enough for p99.9: the inclusive upper bound of the bucket
-    /// containing the `p`-permille sample.
+    /// containing the `p`-permille sample, clamped to the largest
+    /// sample actually recorded so a log bucket's span can never leak
+    /// through as a phantom value (a 2 s timeout must read as 2 s, not
+    /// as the 2^31−1 ns bucket cap).
     pub fn quantile_permille(&self, p: u32) -> u64 {
+        self.quantile_cut(p).0
+    }
+
+    /// Whether the `p`-permille quantile estimate is saturated: it fell
+    /// in the bucket holding the largest sample, so the histogram
+    /// cannot resolve the tail beyond "equal to the observed max".
+    pub fn quantile_saturated(&self, p: u32) -> bool {
+        self.quantile_cut(p).1
+    }
+
+    /// The quantile walk shared by [`Self::quantile_permille`] and
+    /// [`Self::quantile_saturated`]: (clamped estimate, saturated).
+    fn quantile_cut(&self, p: u32) -> (u64, bool) {
         if self.count == 0 {
-            return 0;
+            return (0, false);
         }
         let rank = ((self.count as u128 * p.min(1000) as u128).div_ceil(1000) as u64).max(1);
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return if i == 0 {
-                    0
+                if i == 0 {
+                    // Bucket 0 holds only the value 0: the estimate is
+                    // exact, never saturated.
+                    return (0, false);
+                }
+                let bound = (1u64 << i).wrapping_sub(1).max(1);
+                // The bucket bound exceeding the observed max means the
+                // estimate landed in the max's own bucket: clamp, and
+                // flag the estimate as tail-saturated.
+                return if bound >= self.max {
+                    (bound.min(self.max).max(1), true)
                 } else {
-                    (1u64 << i).wrapping_sub(1).max(1)
+                    (bound, false)
                 };
             }
         }
-        self.max
+        (self.max, true)
     }
 
     /// Merges another histogram into this one.
@@ -177,6 +202,48 @@ mod tests {
         assert!(h.quantile_permille(999) >= 1_000_000);
         assert_eq!(h.percentile(99), h.quantile_permille(990));
         assert_eq!(LogHistogram::new().quantile_permille(999), 0);
+    }
+
+    #[test]
+    fn quantile_clamps_to_the_observed_max_instead_of_the_bucket_cap() {
+        // A 2 s timeout (2_000_000_000 ns) lands in the bucket spanning
+        // up to 2^31 − 1 = 2_147_483_647 ns. The naive bucket upper
+        // bound leaks that cap as a phantom "2147.48 ms"; the clamp
+        // must report the timeout itself.
+        let mut h = LogHistogram::new();
+        h.record_n(1_000_000, 9_985);
+        h.record_n(2_000_000_000, 15);
+        assert_eq!(h.quantile_permille(999), 2_000_000_000);
+        assert!(h.quantile_saturated(999), "tail estimate is max-limited");
+        // The bulk quantiles resolve below the max: unclamped bounds,
+        // not saturated.
+        assert_eq!(h.quantile_permille(500), (1u64 << 20) - 1);
+        assert!(!h.quantile_saturated(500));
+    }
+
+    #[test]
+    fn weighted_record_n_hits_the_same_saturation_boundary() {
+        // Exactly at the rank boundary: 999 permille of 1000 weighted
+        // samples is rank 999 — the last bulk sample — while 1000
+        // permille must reach the single outlier.
+        let mut h = LogHistogram::new();
+        h.record_n(10, 999);
+        h.record_n(3_000_000_000, 1);
+        assert_eq!(h.quantile_permille(999), 15);
+        assert!(!h.quantile_saturated(999));
+        assert_eq!(h.quantile_permille(1000), 3_000_000_000);
+        assert!(h.quantile_saturated(1000));
+        // Degenerate shapes: empty and all-zero histograms are exact.
+        assert!(!LogHistogram::new().quantile_saturated(999));
+        let mut z = LogHistogram::new();
+        z.record_n(0, 5);
+        assert_eq!(z.quantile_permille(999), 0);
+        assert!(!z.quantile_saturated(999));
+        // A single-bucket histogram is always max-limited.
+        let mut one = LogHistogram::new();
+        one.record_n(100, 7);
+        assert_eq!(one.quantile_permille(500), 100);
+        assert!(one.quantile_saturated(500));
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod tracer;
 pub use chrome::{from_chrome_json, to_chrome_json};
 pub use diverge::{diverge, DivergenceReport, DivergenceRow};
 pub use hist::LogHistogram;
-pub use names::{Metric, SpanName, ENGINE_PID, METRIC_COUNT, TID_CALC, TID_GOSSIP};
+pub use names::{Metric, SpanName, ENGINE_PID, METRIC_COUNT, TID_CALC, TID_GOSSIP, TID_REQUEST};
 pub use summary::summarize;
 pub use tracer::{
     CounterSample, InstantEvent, SpanEvent, SpanId, Trace, TraceConfig, TraceMeta, Tracer,

@@ -9,6 +9,8 @@
 pub const TID_GOSSIP: u32 = 0;
 /// Track id for the calc stage of a node (Chrome `tid`).
 pub const TID_CALC: u32 = 1;
+/// Track id for client-request service billed on a node (Chrome `tid`).
+pub const TID_REQUEST: u32 = 2;
 /// Synthetic process id for engine-level spans (real nodes use their
 /// node index, which is always far below this).
 pub const ENGINE_PID: u32 = 1_000_000;

@@ -53,9 +53,12 @@ impl ArrivalConfig {
         tick: SimDuration::from_secs(1),
     };
 
-    /// Whether any load is offered at all.
+    /// Whether the datapath is off entirely. A population with a zero
+    /// per-user rate is *not* off: the engine still ticks (armed, fully
+    /// plumbed into the cluster) while offering nothing — the shape the
+    /// zero-offered-load differential tests pin against traffic-off.
     pub fn is_off(&self) -> bool {
-        self.users == 0 || self.millirate_per_user == 0
+        self.users == 0
     }
 
     /// Cluster-wide offered rate in milli-ops per second.

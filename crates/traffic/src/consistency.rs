@@ -67,6 +67,9 @@ pub struct CostModel {
     pub read_service: SimDuration,
     /// Service time a replica adds to a write.
     pub write_service: SimDuration,
+    /// Parse/route work the coordinator burns on its own CPU before
+    /// anything reaches the wire. Only the coupled datapath bills it.
+    pub coord_service: SimDuration,
     /// Latency booked for a request that ultimately fails: the client's
     /// request timeout (Cassandra defaults to 2 s reads / 2 s writes).
     pub timeout: SimDuration,
@@ -77,6 +80,7 @@ impl Default for CostModel {
         CostModel {
             read_service: SimDuration::from_micros(350),
             write_service: SimDuration::from_micros(150),
+            coord_service: SimDuration::from_micros(50),
             timeout: SimDuration::from_secs(2),
         }
     }

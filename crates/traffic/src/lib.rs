@@ -16,12 +16,15 @@
 //!
 //! Three contracts hold everything together:
 //!
-//! * **Zero CPU cost.** Traffic reads coordinator state (ring views,
-//!   failure-detector verdicts, link FIFO clocks) but never submits
-//!   machine compute, never draws from the simulation's shared RNG
-//!   streams, and never mutates network state. Control-path dynamics —
-//!   flap counts, message traces, schedule contents — are bit-identical
-//!   with traffic on or off.
+//! * **Coupled by default, observer on demand.** The open-loop datapath
+//!   runs *coupled* ([`TrafficConfig::coupled`]): coordinator and
+//!   replica service bill the per-node simulated CPUs and replica round
+//!   trips ride the real per-link FIFO clocks and fault windows, so CPU
+//!   starvation and network congestion show up in user-visible tails.
+//!   The legacy client probe stays an uncoupled observer, and either
+//!   way traffic never draws from the simulation's shared RNG streams —
+//!   with traffic off (or coupled traffic offered zero load) the
+//!   control plane is bit-identical.
 //! * **O(requests), not O(clients).** A cell configured with a million
 //!   users costs the same memory as one with fifty: arrivals aggregate
 //!   into per-tick batches, each tick simulates at most
@@ -43,6 +46,6 @@ pub mod slo;
 
 pub use arrival::{ArrivalConfig, ArrivalProcess};
 pub use consistency::{Consistency, CostModel, Degradation, OpKind};
-pub use engine::{ClusterView, Phase, TrafficConfig, TrafficState};
+pub use engine::{ClusterFabric, KeySkew, Phase, TrafficConfig, TrafficState};
 pub use report::{RequestRecord, TrafficReport};
 pub use slo::{ErrorBudget, SloSummary, SloTarget};

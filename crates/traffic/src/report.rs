@@ -64,6 +64,10 @@ pub struct PhaseHist {
 pub struct TrafficReport {
     /// Whether any load was offered.
     pub enabled: bool,
+    /// Whether requests ran *coupled* to the simulation (CPU billing +
+    /// real data-plane messages) instead of the standalone latency
+    /// model.
+    pub coupled: bool,
     /// Weighted requests offered.
     pub attempted: u64,
     /// Weighted requests that failed outright.
@@ -72,6 +76,19 @@ pub struct TrafficReport {
     pub degraded: u64,
     /// Request samples actually simulated (the run costs O(this)).
     pub samples: u64,
+    /// Weighted requests reissued after a client timeout (retry
+    /// feedback into offered load).
+    pub retried: u64,
+    /// Weighted retries shed because the retry queue was at capacity
+    /// (booked failed immediately).
+    pub retry_shed: u64,
+    /// Weighted retries still pending when the run ended.
+    pub retry_in_flight: u64,
+    /// Data-plane messages offered to the fabric.
+    pub data_sent: u64,
+    /// Data-plane messages the fabric dropped (partition, loss, fault
+    /// window).
+    pub data_dropped: u64,
     /// Latency histograms, one per (phase, kind), phase-major.
     pub hists: Vec<PhaseHist>,
     /// Cumulative weighted failures over virtual time.

@@ -85,6 +85,11 @@ pub struct SloSummary {
     pub p99_ns: u64,
     /// 99.9th-percentile request latency (ns).
     pub p999_ns: u64,
+    /// Whether the p99.9 estimate is saturated: it landed in the
+    /// histogram bucket holding the largest recorded latency (typically
+    /// the client timeout), so the tail beyond it is unresolved and the
+    /// reported value is the observed max, not a within-bucket bound.
+    pub tail_saturated: bool,
     /// Successful fraction in permille of weighted requests.
     pub availability_permille: u32,
     /// Error budget burned, in permille.
@@ -107,6 +112,7 @@ impl SloSummary {
             p50_ns: hist.quantile_permille(500),
             p99_ns: hist.quantile_permille(990),
             p999_ns: hist.quantile_permille(999),
+            tail_saturated: hist.quantile_saturated(999),
             availability_permille: availability,
             budget_burned_permille: budget.burned_permille(),
             budget_breached: budget.breached(target),

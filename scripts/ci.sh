@@ -86,18 +86,26 @@ cargo test -q --test proptests steady_state_periodic_timers_run_allocation_free
 echo "=== scale smoke (tbl_scale --smoke, 1024-node SC+PIL) ==="
 target/release/tbl_scale --smoke --budget-secs 600
 
-# SLO smoke: the client-request datapath must flow a million open-loop
-# users through one colocated cell, produce a schema-valid bench_slo/v1
-# row, and reproduce its request-log digest byte-for-byte on a rerun —
-# all inside the wall budget. Full triples and verdicts come from
+# SLO smoke: the coupled datapath must flow a million open-loop users
+# through the c3831 128-node Real and Colo cells, produce schema-valid
+# bench_slo/v2 rows, show the Colo tail *diverging* from Real (the
+# user-visible C3831 signal the coupling exists for), and reproduce
+# its request-log digest byte-for-byte on a rerun — all inside the
+# wall budget. Full triples and verdicts come from
 # scripts/run_experiments.sh --slo (see EXPERIMENTS.md, "Client
 # traffic & SLOs").
-echo "=== slo smoke (tbl_slo --smoke, 64-node Colo, 1M users) ==="
-target/release/tbl_slo --smoke --budget-secs 120
+echo "=== slo smoke (tbl_slo --smoke, c3831@128 Real vs Colo, 1M users) ==="
+target/release/tbl_slo --smoke --budget-secs 240
 
 echo "=== traffic datapath suites (arrivals, consistency, SLO, runner differential) ==="
 cargo test -q -p scalecheck-traffic
 cargo test -q --test traffic_slo
+
+# The paper-shape SLO regression needs three 128-node runs (Real,
+# Colo, and the full SC+PIL pipeline); too slow under the dev profile,
+# so it is #[ignore]d there and run here against the release build.
+echo "=== paper-shape SLO regression (c3831@128 triple, release) ==="
+cargo test --release -q --test traffic_slo -- --ignored
 
 # Schedule exploration: the tie-order plumbing must stay inert on the
 # identity path (pinned smoke cells, zero verdict flips), and the

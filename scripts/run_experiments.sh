@@ -93,8 +93,8 @@ fi
 # reproduces the committed table byte-for-byte.
 # Client-traffic SLO triples: writes BENCH_slo.json and TBL_slo.txt at
 # the repo root (tracked). Deterministic virtual-time results; opt-in
-# because the 128-node Colo cells re-execute the bug scenarios with the
-# datapath attached.
+# because the 256-node Colo cells re-execute the bug scenarios with the
+# coupled datapath attached (minutes each).
 if [ "$SLO" = 1 ]; then
   run tbl_slo "$BIN/tbl_slo"
 fi

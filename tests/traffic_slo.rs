@@ -1,13 +1,20 @@
 //! End-to-end contracts of the client-traffic datapath riding on the
 //! cluster runner:
 //!
-//! * attaching traffic never perturbs control-plane dynamics (the
-//!   datapath only *observes* the cluster);
+//! * the *uncoupled* legacy probe never perturbs control-plane
+//!   dynamics, and the *coupled* open-loop datapath offered zero load
+//!   is bit-identical to traffic-off (arming the engine costs
+//!   nothing);
+//! * coupled traffic genuinely rides the simulation — it bills CPU and
+//!   sends data-plane messages, and the control plane feels it;
 //! * the request log and histograms are byte-deterministic;
 //! * traffic state is O(requests), not O(users), all the way through a
 //!   full scenario run;
 //! * nonsensical quorum settings are rejected at config level instead
-//!   of silently under-counting.
+//!   of silently under-counting;
+//! * (release-mode, `--ignored`) the paper-shape regression: C3831 at
+//!   128 nodes shows Colo diverging from Real on the user-visible SLO
+//!   axis while SC+PIL tracks Real.
 
 use proptest::prelude::*;
 use scalecheck_cluster::{run_scenario, ClientConfig, ScenarioConfig, TrafficConfig, Workload};
@@ -48,36 +55,66 @@ fn control_plane(r: &scalecheck_cluster::RunReport) -> impl PartialEq + std::fmt
     )
 }
 
+/// The coupled open-loop shape with its arrival rate zeroed: the
+/// engine stays armed (ticking, plumbed into the fabric) but offers
+/// nothing.
+fn zero_load(users: u64) -> TrafficConfig {
+    let mut t = TrafficConfig::open_loop(users);
+    t.arrival.millirate_per_user = 0;
+    t
+}
+
 #[test]
-fn traffic_observes_without_perturbing_the_control_plane() {
+fn uncoupled_probe_observes_without_perturbing_the_control_plane() {
     let off = run_scenario(&silent(12, 7));
-    let on = run_scenario(&small(12, 7).with_traffic(TrafficConfig::open_loop(1_000_000)));
+    let on = run_scenario(&small(12, 7).with_traffic(TrafficConfig::from_legacy(50, 2, 3)));
     assert!(!off.traffic.enabled);
     assert!(on.traffic.enabled);
+    assert!(!on.traffic.coupled, "the legacy probe must stay uncoupled");
     assert!(on.traffic.attempted > 0, "traffic must actually flow");
     assert_eq!(
         control_plane(&off),
         control_plane(&on),
-        "attaching the datapath must leave cluster dynamics bit-identical"
+        "attaching the uncoupled probe must leave cluster dynamics bit-identical"
+    );
+}
+
+#[test]
+fn coupled_traffic_actually_rides_the_simulation() {
+    let r = run_scenario(&small(12, 7).with_traffic(TrafficConfig::open_loop(1_000_000)));
+    assert!(r.traffic.enabled && r.traffic.coupled);
+    assert!(r.traffic.attempted > 0, "traffic must actually flow");
+    assert!(
+        r.traffic.data_sent > 0,
+        "quorum replication must put real messages on the data plane"
+    );
+    let s = r.traffic.slo_summary();
+    assert!(
+        s.p50_ns > 500_000,
+        "coupled RTTs include service + link time, got p50 {} ns",
+        s.p50_ns
     );
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
 
-    /// The differential contract holds across scales and seeds, and for
-    /// the legacy probe shape as well as the open-loop datapath.
+    /// The differential contract across scales and seeds: the legacy
+    /// probe (uncoupled observer) and the coupled datapath at zero
+    /// offered load both leave control-plane dynamics bit-identical to
+    /// traffic-off. A *loaded* coupled run is exempt by design — its
+    /// requests genuinely contend with gossip for CPUs and links.
     #[test]
     fn traffic_on_off_differential(n in 8usize..14, seed in 1u64..50) {
         let off = run_scenario(&silent(n, seed));
         let legacy = run_scenario(&silent(n, seed).with_traffic(
             ClientConfig::light().to_traffic(3),
         ));
-        let open = run_scenario(&small(n, seed).with_traffic(
-            TrafficConfig::open_loop(100_000),
-        ));
+        let armed = run_scenario(&silent(n, seed).with_traffic(zero_load(100_000)));
+        prop_assert!(armed.traffic.enabled, "zero-rate population stays armed");
+        prop_assert_eq!(armed.traffic.attempted, 0);
         prop_assert_eq!(control_plane(&off), control_plane(&legacy));
-        prop_assert_eq!(control_plane(&off), control_plane(&open));
+        prop_assert_eq!(control_plane(&off), control_plane(&armed));
     }
 }
 
@@ -137,4 +174,46 @@ fn runner_refuses_to_start_with_an_invalid_quorum() {
         quorum: cfg.rf + 1,
     };
     let _ = run_scenario(&cfg);
+}
+
+/// The paper-shape regression the whole coupled datapath exists for:
+/// C3831 at 128 nodes under a million open-loop users. Colocated
+/// testing must report an SLO catastrophe (p99.9 inflation / budget
+/// burn) that real-scale deployment does not show, and SC+PIL must
+/// track Real. Runs the three deployment modes end to end — minutes of
+/// wall clock — so it is `#[ignore]`d in the default suite; CI runs it
+/// via `cargo test --release -- --ignored` (see scripts/ci.sh).
+#[test]
+#[ignore = "release-mode paper-shape regression: run with --ignored"]
+fn c3831_at_128_shows_the_paper_shape_on_the_slo_axis() {
+    use scalecheck::{CellSpec, ExecMode, COLO_CORES};
+    let scenario =
+        || ScenarioConfig::c3831(128, 1).with_traffic(TrafficConfig::open_loop(1_000_000));
+    let real = CellSpec::new(scenario(), ExecMode::Real).run();
+    let colo = CellSpec::new(scenario(), ExecMode::Colo { cores: COLO_CORES }).run();
+    let pil = CellSpec::new(
+        scenario(),
+        ExecMode::ScPil {
+            cores: COLO_CORES,
+            ordered: false,
+        },
+    )
+    .run();
+    let triple = scalecheck_explore::SloTriple {
+        real: real.traffic.slo_summary(),
+        colo: colo.traffic.slo_summary(),
+        pil: pil.traffic.slo_summary(),
+    };
+    let v = triple.verdict(&scalecheck_explore::SloParams::default());
+    assert!(
+        v.colo_diverges,
+        "Colo must inflate the user-visible tail past Real's: real p999={} colo p999={}",
+        triple.real.p999_ns, triple.colo.p999_ns
+    );
+    assert!(
+        v.pil_tracks,
+        "SC+PIL must track Real: real p999={} pil p999={}",
+        triple.real.p999_ns, triple.pil.p999_ns
+    );
+    assert!(v.paper(), "the full paper shape must hold at N=128");
 }
